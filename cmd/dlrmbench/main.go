@@ -1,0 +1,88 @@
+// Command dlrmbench regenerates the paper's evaluation artifacts (figures
+// and tables) as text tables.
+//
+// Usage:
+//
+//	dlrmbench -exp all                 # every artifact, quick scale
+//	dlrmbench -exp fig13,fig15         # selected artifacts
+//	dlrmbench -exp tab4 -scale 1       # paper-scale model (slow)
+//	dlrmbench -list                    # list experiment IDs
+//
+// -scale divides model dimensions (tables, lookups, rows, MLP widths);
+// speedup ratios are stable under scaling, absolute milliseconds are not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dlrmsim/internal/exp"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		scale     = flag.Int("scale", 8, "model scale-down divisor (1 = paper scale)")
+		cores     = flag.Int("cores", 0, "override multi-core core count (0 = all platform cores)")
+		batch     = flag.Int("batch", 64, "batch size")
+		batches   = flag.Int("batches", 1, "measured batches per core")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		bwIters   = flag.Int("bwiters", 2, "DRAM bandwidth fixed-point iterations")
+		format    = flag.String("format", "text", "output format: text | csv")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		quietTime = flag.Bool("notime", false, "suppress per-experiment timing")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			e, _ := exp.Get(id)
+			fmt.Printf("%-8s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	ids := exp.IDs()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	x := exp.NewContext(exp.Config{
+		Scale:               *scale,
+		BatchSize:           *batch,
+		Batches:             *batches,
+		Cores:               *cores,
+		Seed:                *seed,
+		BandwidthIterations: *bwIters,
+	})
+	if *format == "text" {
+		fmt.Printf("dlrmbench: scale=1/%d batch=%d batches=%d seed=%d\n\n",
+			x.Cfg.Scale, x.Cfg.BatchSize, x.Cfg.Batches, x.Cfg.Seed)
+	}
+	for _, id := range ids {
+		e, err := exp.Get(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tbl, err := e.Run(x)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlrmbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		render := tbl.Render
+		if *format == "csv" {
+			render = tbl.RenderCSV
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*quietTime && *format == "text" {
+			fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command dlrmserve explores tail latency and SLA compliance (the paper's
+// Fig. 17): it obtains per-design batch service times from the timing
+// simulator and subjects each design to a Poisson arrival sweep.
+//
+// Usage:
+//
+//	dlrmserve -model rm2_1 -hotness low -scale 8
+//	dlrmserve -model rm1 -schemes baseline,integrated -cores 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dlrmsim/internal/core"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/platform"
+	"dlrmsim/internal/serve"
+	"dlrmsim/internal/trace"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "rm2_1", "rm1 | rm2_1 | rm2_2 | rm2_3")
+		hotness   = flag.String("hotness", "low", "high | medium | low")
+		schemes   = flag.String("schemes", "baseline,swpf,mpht,integrated", "comma-separated design points")
+		scale     = flag.Int("scale", 8, "model scale-down divisor")
+		cores     = flag.Int("cores", 0, "server cores (0 = all platform cores)")
+		requests  = flag.Int("requests", 3000, "requests per sweep point")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	base, err := dlrm.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := parseHotness(*hotness)
+	if err != nil {
+		fatal(err)
+	}
+	cpu := platform.CascadeLake()
+	n := cpu.Cores
+	if *cores > 0 && *cores <= cpu.Cores {
+		n = *cores
+	}
+	model := base.Scaled(*scale)
+
+	fmt.Printf("dlrmserve: %s (scale 1/%d) on %s, %d cores, %v\n\n", base.Name, *scale, cpu.Name, n, h)
+
+	// Baseline service time anchors the arrival sweep.
+	bl, err := core.Run(core.Options{Model: model, Hotness: h, Scheme: core.Baseline, Cores: n, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	arrivals := make([]float64, 0, 6)
+	for _, f := range []float64{0.4, 0.7, 1.0, 1.5, 2.5, 4.0} {
+		arrivals = append(arrivals, f*bl.BatchLatencyMs/float64(n))
+	}
+	sla := base.SLATargetMs
+	if *scale > 1 {
+		sla = 4 * bl.BatchLatencyMs
+		fmt.Printf("(scaled run: using SLA = 4x baseline latency = %.2f ms instead of the paper's %.0f ms)\n\n",
+			sla, base.SLATargetMs)
+	}
+
+	fmt.Printf("%-12s %-10s", "design", "svc (ms)")
+	for _, a := range arrivals {
+		fmt.Printf("  p95@%.2fms", a)
+	}
+	fmt.Printf("  fastest SLA-ok\n")
+
+	for _, name := range strings.Split(*schemes, ",") {
+		s, err := core.ParseScheme(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := core.Run(core.Options{Model: model, Hotness: h, Scheme: s, Cores: n, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		points, err := serve.SweepArrival(serve.Config{
+			Cores:      n,
+			ServiceMs:  rep.BatchLatencyMs,
+			JitterFrac: 0.08,
+			Requests:   *requests,
+			Seed:       *seed,
+		}, arrivals)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %-10.2f", s, rep.BatchLatencyMs)
+		for _, p := range points {
+			fmt.Printf("  %9.1f", p.Result.P95)
+		}
+		if a, ok := serve.FastestCompliantArrival(points, sla); ok {
+			fmt.Printf("  %.2f ms\n", a)
+		} else {
+			fmt.Printf("  saturated\n")
+		}
+	}
+}
+
+func parseHotness(s string) (trace.Hotness, error) {
+	switch s {
+	case "high":
+		return trace.HighHot, nil
+	case "medium", "med":
+		return trace.MediumHot, nil
+	case "low":
+		return trace.LowHot, nil
+	}
+	return 0, fmt.Errorf("dlrmserve: unknown hotness %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlrmserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module dlrmsim
+
+go 1.22

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/cpusim"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/embedding"
+	"dlrmsim/internal/memsim"
+	"dlrmsim/internal/platform"
+	"dlrmsim/internal/trace"
+)
+
+// Stage labels used in Report.StageCycles.
+const (
+	StageEmbedding = "embedding"
+	StageBottom    = "bottom-mlp"
+	StageTop       = "interaction+top-mlp"
+	StageSMTPair   = "embedding+bottom (SMT)"
+	StageInference = "inference"
+)
+
+// BatchProvider supplies embedding_bag inputs per (batch, table) pair.
+// Both trace.Dataset (synthetic) and trace.StoredTrace (replayed from a
+// file) satisfy it.
+type BatchProvider interface {
+	Batch(batchIdx, tableIdx int) trace.TableBatch
+}
+
+// Options configures one engine run.
+type Options struct {
+	// Model is the DLRM architecture (a Table 2 config, possibly Scaled).
+	Model dlrm.Config
+	// CPU is the platform (defaults to Cascade Lake when zero).
+	CPU platform.CPU
+	// Hotness selects the input-trace class.
+	Hotness trace.Hotness
+	// Scheme selects the design point.
+	Scheme Scheme
+	// BatchSize defaults to 64, the paper's SLA-constrained choice.
+	BatchSize int
+	// Batches is the number of batches measured per core (default 1).
+	Batches int
+	// Cores is the number of cores used; 0 means all of CPU.Cores.
+	Cores int
+	// Prefetch overrides the platform-tuned Algorithm 3 knobs for
+	// SWPF/Integrated runs. Zero means use CPU.TunedPFDist/TunedPFBlocks.
+	Prefetch embedding.PrefetchConfig
+	// Seed drives trace and parameter generation.
+	Seed uint64
+	// Trace, when non-nil, supplies the embedding_bag inputs instead of
+	// a synthesized dataset — e.g. a trace.StoredTrace written by
+	// cmd/tracegen, for replaying one input set across design points or
+	// machines. It must cover Batches×Cores batches (2x for DP-HT) of
+	// Model.Tables tables at BatchSize samples.
+	Trace BatchProvider
+	// BandwidthIterations bounds the DRAM fixed point (0 = cpusim's
+	// default of 3).
+	BandwidthIterations int
+	// EmbeddingOnly runs just the embedding stage (Figs. 12, Table 4).
+	// Valid for Baseline, NoHWPF, and SWPF.
+	EmbeddingOnly bool
+}
+
+func (o *Options) applyDefaults() error {
+	if o.CPU.Name == "" {
+		o.CPU = platform.CascadeLake()
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 64
+	}
+	if o.Batches == 0 {
+		o.Batches = 1
+	}
+	if o.Cores == 0 {
+		o.Cores = o.CPU.Cores
+	}
+	if o.Cores < 1 || o.Cores > o.CPU.Cores {
+		return fmt.Errorf("core: %d cores on a %d-core %s", o.Cores, o.CPU.Cores, o.CPU.Name)
+	}
+	if o.Scheme.UsesSWPrefetch() && !o.Prefetch.Enabled() {
+		o.Prefetch = embedding.PrefetchConfig{Dist: o.CPU.TunedPFDist, Blocks: o.CPU.TunedPFBlocks}
+	}
+	if o.EmbeddingOnly && o.Scheme.UsesSMT() {
+		return fmt.Errorf("core: embedding-only runs are sequential; %v uses SMT", o.Scheme)
+	}
+	return o.Model.Validate()
+}
+
+// Report is the engine's output for one (model, platform, dataset, scheme)
+// point.
+type Report struct {
+	// Scheme, ModelName, CPUName, Hotness identify the design point.
+	Scheme    Scheme
+	ModelName string
+	CPUName   string
+	Hotness   trace.Hotness
+
+	// BatchLatencyCycles is the mean time one batch spends executing on
+	// its core (queueing excluded); BatchLatencyMs converts it.
+	BatchLatencyCycles float64
+	BatchLatencyMs     float64
+	// ThroughputBatchesPerSec counts completed batches per second across
+	// all active cores (DP-HT trades latency for this).
+	ThroughputBatchesPerSec float64
+	// StageCycles is the mean per-batch duration of each pipeline stage.
+	StageCycles map[string]float64
+
+	// Microarchitectural metrics (the paper's VTune counters).
+	AvgLoadLatency       float64
+	L1HitRate            float64
+	L2HitRate            float64
+	L3HitRate            float64
+	DRAMBytes            uint64
+	BandwidthGBs         float64
+	BandwidthUtilization float64
+	SWPrefetches         uint64
+}
+
+// batchRegion spaces per-batch buffer regions; inputs+outputs per batch
+// stay far below this.
+const batchRegion memsim.Addr = 1 << 28
+
+// bufBase returns the private buffer region for a (core, instance) slot.
+func bufBase(core, instance int) memsim.Addr {
+	return memsim.Addr(1)<<33 + memsim.Addr(core*2+instance)*batchRegion
+}
+
+// Run executes one design point and reports its metrics.
+func Run(opts Options) (Report, error) {
+	if err := opts.applyDefaults(); err != nil {
+		return Report{}, err
+	}
+	model, err := dlrm.New(opts.Model, opts.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	// DP-HT consumes two batches per core per round.
+	perCore := opts.Batches
+	instances := 1
+	if opts.Scheme == DPHT {
+		instances = 2
+	}
+	var provider BatchProvider = opts.Trace
+	if provider == nil {
+		ds, err := trace.NewDataset(trace.Config{
+			Hotness:          opts.Hotness,
+			Rows:             opts.Model.RowsPerTable,
+			Tables:           opts.Model.Tables,
+			BatchSize:        opts.BatchSize,
+			LookupsPerSample: opts.Model.LookupsPerSample,
+			Batches:          opts.Batches * opts.Cores * instances,
+			Seed:             opts.Seed ^ 0xDA7A,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		provider = ds
+	}
+
+	mem := opts.CPU.Mem
+	mem.HWPrefetch = opts.Scheme != NoHWPF
+	sys := cpusim.NewSystem(cpusim.SystemParams{
+		Core:                opts.CPU.Core,
+		Mem:                 mem,
+		Cores:               opts.Cores,
+		BandwidthIterations: opts.BandwidthIterations,
+	})
+
+	sp := func(core, instance int, pf embedding.PrefetchConfig) dlrm.StreamParams {
+		return dlrm.StreamParams{
+			FlopsPerCycle: opts.CPU.FlopsPerCycle,
+			Batch:         opts.BatchSize,
+			BufBase:       bufBase(core, instance),
+			Prefetch:      pf,
+		}
+	}
+	src := func(batchIdx int) embedding.BatchSource {
+		return func(tableID int) trace.TableBatch { return provider.Batch(batchIdx, tableID) }
+	}
+	embStream := func(core, instance, batchIdx int, pf embedding.PrefetchConfig) cpusim.StreamFactory {
+		return func() cpusim.Stream {
+			return model.EmbeddingStream(src(batchIdx), sp(core, instance, pf))
+		}
+	}
+	bottomStream := func(core, instance int) cpusim.StreamFactory {
+		return func() cpusim.Stream { return model.BottomStream(sp(core, instance, embedding.PrefetchConfig{})) }
+	}
+	topStream := func(core, instance int) cpusim.StreamFactory {
+		return func() cpusim.Stream { return model.TopStream(sp(core, instance, embedding.PrefetchConfig{})) }
+	}
+	fullInference := func(core, instance, batchIdx int, pf embedding.PrefetchConfig) cpusim.StreamFactory {
+		return func() cpusim.Stream {
+			return cpusim.NewConcatStream(
+				model.EmbeddingStream(src(batchIdx), sp(core, instance, pf)),
+				model.BottomStream(sp(core, instance, pf)),
+				model.TopStream(sp(core, instance, pf)),
+			)
+		}
+	}
+
+	pf := embedding.PrefetchConfig{}
+	if opts.Scheme.UsesSWPrefetch() {
+		pf = opts.Prefetch
+	}
+
+	work := make([]cpusim.CoreWork, opts.Cores)
+	for c := 0; c < opts.Cores; c++ {
+		var phases []cpusim.Phase
+		for b := 0; b < perCore; b++ {
+			// Round-robin batch assignment: batch index advances across
+			// cores first, then rounds.
+			switch opts.Scheme {
+			case Baseline, NoHWPF, SWPF:
+				bi := b*opts.Cores + c
+				phases = append(phases, cpusim.Phase{
+					Label:   StageEmbedding,
+					Streams: []cpusim.StreamFactory{embStream(c, 0, bi, pf)},
+				})
+				if !opts.EmbeddingOnly {
+					phases = append(phases,
+						cpusim.Phase{Label: StageBottom, Streams: []cpusim.StreamFactory{bottomStream(c, 0)}},
+						cpusim.Phase{Label: StageTop, Streams: []cpusim.StreamFactory{topStream(c, 0)}},
+					)
+				}
+			case DPHT:
+				b0 := (b*opts.Cores + c) * 2
+				phases = append(phases, cpusim.Phase{
+					Label: StageInference,
+					Streams: []cpusim.StreamFactory{
+						fullInference(c, 0, b0, pf),
+						fullInference(c, 1, b0+1, pf),
+					},
+				})
+			case MPHT, Integrated:
+				bi := b*opts.Cores + c
+				phases = append(phases,
+					cpusim.Phase{
+						Label: StageSMTPair,
+						Streams: []cpusim.StreamFactory{
+							embStream(c, 0, bi, pf),
+							bottomStream(c, 1),
+						},
+					},
+					cpusim.Phase{Label: StageTop, Streams: []cpusim.StreamFactory{topStream(c, 0)}},
+				)
+			default:
+				return Report{}, fmt.Errorf("core: unhandled scheme %v", opts.Scheme)
+			}
+		}
+		work[c] = cpusim.CoreWork{Phases: phases}
+	}
+
+	res := sys.Run(work)
+
+	rep := Report{
+		Scheme:    opts.Scheme,
+		ModelName: opts.Model.Name,
+		CPUName:   opts.CPU.Name,
+		Hotness:   opts.Hotness,
+
+		AvgLoadLatency:       res.AvgLoadLatency,
+		L1HitRate:            res.L1HitRate,
+		L2HitRate:            res.L2HitRate,
+		L3HitRate:            res.L3HitRate,
+		DRAMBytes:            res.DRAMBytes,
+		BandwidthUtilization: res.BandwidthUtilization,
+		SWPrefetches:         res.SWPrefetches,
+		StageCycles:          map[string]float64{},
+	}
+	rep.BatchLatencyCycles = res.MeanCoreCycles() / float64(perCore)
+	rep.BatchLatencyMs = opts.CPU.CyclesToMs(rep.BatchLatencyCycles)
+	if res.Cycles > 0 {
+		secs := res.Cycles / (opts.CPU.FrequencyGHz * 1e9)
+		rep.ThroughputBatchesPerSec = float64(perCore*instances*opts.Cores) / secs
+		rep.BandwidthGBs = res.BandwidthBytesPerCyc * opts.CPU.FrequencyGHz
+	}
+	for _, label := range []string{StageEmbedding, StageBottom, StageTop, StageSMTPair, StageInference} {
+		if v := res.MeanPhaseCycles(label); v > 0 {
+			rep.StageCycles[label] = v
+		}
+	}
+	return rep, nil
+}
+
+// EmbeddingStageCycles returns the per-batch embedding time: the explicit
+// embedding phase when present, otherwise the SMT pair phase (where the
+// embedding thread dominates).
+func (r Report) EmbeddingStageCycles() float64 {
+	if v, ok := r.StageCycles[StageEmbedding]; ok {
+		return v
+	}
+	return r.StageCycles[StageSMTPair]
+}
+
+// Speedup returns base's latency divided by r's (how much faster r is).
+func (r Report) Speedup(base Report) float64 {
+	if r.BatchLatencyCycles == 0 {
+		return 0
+	}
+	return base.BatchLatencyCycles / r.BatchLatencyCycles
+}

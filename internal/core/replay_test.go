@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/trace"
+)
+
+// TestReplayedTraceMatchesSyntheticRun: writing a trace with trace.Write,
+// reading it back, and running the engine on the replay must give
+// bit-identical timing to running on the live dataset (the provider is
+// the only difference).
+func TestReplayedTraceMatchesSyntheticRun(t *testing.T) {
+	opts := testOptions(SWPF, trace.MediumHot)
+	live := mustRun(t, opts)
+
+	// Rebuild the exact dataset the engine synthesizes internally.
+	ds, err := trace.NewDataset(trace.Config{
+		Hotness:          opts.Hotness,
+		Rows:             opts.Model.RowsPerTable,
+		Tables:           opts.Model.Tables,
+		BatchSize:        opts.BatchSize,
+		LookupsPerSample: opts.Model.LookupsPerSample,
+		Batches:          1 * opts.Cores,
+		Seed:             opts.Seed ^ 0xDA7A,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Trace = stored
+	replay := mustRun(t, opts)
+	if replay.BatchLatencyCycles != live.BatchLatencyCycles {
+		t.Fatalf("replay %.2f cycles != live %.2f", replay.BatchLatencyCycles, live.BatchLatencyCycles)
+	}
+	if replay.DRAMBytes != live.DRAMBytes {
+		t.Fatalf("replay traffic %d != live %d", replay.DRAMBytes, live.DRAMBytes)
+	}
+}
+
+// TestReplayAcrossSchemes: one stored trace can be replayed under several
+// design points — the input is held constant while the design varies.
+func TestReplayAcrossSchemes(t *testing.T) {
+	base := testOptions(Baseline, trace.LowHot)
+	ds, err := trace.NewDataset(trace.Config{
+		Hotness: base.Hotness, Rows: base.Model.RowsPerTable, Tables: base.Model.Tables,
+		BatchSize: base.BatchSize, LookupsPerSample: base.Model.LookupsPerSample,
+		Batches: base.Cores, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Trace = stored
+	bl := mustRun(t, base)
+	swpf := base
+	swpf.Scheme = SWPF
+	sw := mustRun(t, swpf)
+	if sw.Speedup(bl) <= 1 {
+		t.Fatalf("SW-PF on a replayed trace: speedup %.2f", sw.Speedup(bl))
+	}
+}
+
+var _ BatchProvider = (*trace.Dataset)(nil)
+var _ BatchProvider = (*trace.StoredTrace)(nil)
+
+func TestDLRMConfigInteractionStrings(t *testing.T) {
+	for _, k := range []dlrm.InteractionKind{dlrm.DotInteraction, dlrm.CrossInteraction, dlrm.ConcatInteraction} {
+		if k.String() == "invalid" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	if dlrm.InteractionKind(9).String() != "invalid" {
+		t.Fatal("bad kind not flagged")
+	}
+}

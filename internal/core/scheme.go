@@ -1,0 +1,81 @@
+// Package core is the library form of the paper's contribution: it binds a
+// DLRM model, a CPU platform, a dataset hotness class, and one of the six
+// design points the paper evaluates, runs the timing simulation, and
+// returns batch latency plus the microarchitectural metrics the paper
+// reports (L1D hit rate, average load latency, DRAM bandwidth).
+//
+// Design points (§6): Baseline (HW prefetch on), NoHWPF, SWPF (Algorithm 3
+// software prefetching), DPHT (naive data-parallel hyperthreading), MPHT
+// (the paper's model-parallel hyperthreading), and Integrated (SWPF+MPHT).
+package core
+
+import "fmt"
+
+// Scheme selects one of the paper's design points.
+type Scheme int
+
+// The six design points of the evaluation (§6).
+const (
+	// Baseline is sequential execution with hardware prefetching on.
+	Baseline Scheme = iota
+	// NoHWPF disables the hardware prefetchers ("w/o HW-PF").
+	NoHWPF
+	// SWPF adds Algorithm 3 software prefetching to the embedding stage.
+	SWPF
+	// DPHT colocates two independent inferences on one core's SMT
+	// contexts (the naive hyperthreading prior work dismissed).
+	DPHT
+	// MPHT colocates the embedding stage and the Bottom-MLP of the SAME
+	// batch on one core's SMT contexts (the paper's design).
+	MPHT
+	// Integrated combines SWPF and MPHT (the paper's best design).
+	Integrated
+)
+
+// AllSchemes lists the design points in the paper's presentation order.
+var AllSchemes = []Scheme{NoHWPF, Baseline, SWPF, DPHT, MPHT, Integrated}
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case NoHWPF:
+		return "w/o HW-PF"
+	case SWPF:
+		return "SW-PF"
+	case DPHT:
+		return "DP-HT"
+	case MPHT:
+		return "MP-HT"
+	case Integrated:
+		return "Integrated"
+	default:
+		return "invalid"
+	}
+}
+
+// UsesSWPrefetch reports whether the scheme inserts software prefetches.
+func (s Scheme) UsesSWPrefetch() bool { return s == SWPF || s == Integrated }
+
+// UsesSMT reports whether the scheme uses both hardware threads.
+func (s Scheme) UsesSMT() bool { return s == DPHT || s == MPHT || s == Integrated }
+
+// ParseScheme resolves a scheme from its CLI spelling.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "baseline":
+		return Baseline, nil
+	case "nohwpf", "w/o HW-PF", "hwpf-off":
+		return NoHWPF, nil
+	case "swpf", "SW-PF":
+		return SWPF, nil
+	case "dpht", "DP-HT":
+		return DPHT, nil
+	case "mpht", "MP-HT":
+		return MPHT, nil
+	case "integrated", "Integrated":
+		return Integrated, nil
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/embedding"
+)
+
+// TunePoint is one evaluated (pf_dist, pf_blocks) setting.
+type TunePoint struct {
+	Dist, Blocks       int
+	BatchLatencyCycles float64
+	L1HitRate          float64
+	AvgLoadLatency     float64
+}
+
+// TunePrefetch sweeps Algorithm 3's knobs on the given workload (the
+// scheme is forced to SWPF) and returns every evaluated point plus the
+// fastest one — the paper's Fig. 10(b)/(c) design-space exploration,
+// which is how the per-platform tuned settings in package platform were
+// found.
+func TunePrefetch(opts Options, dists, blocks []int) ([]TunePoint, TunePoint, error) {
+	if len(dists) == 0 || len(blocks) == 0 {
+		return nil, TunePoint{}, fmt.Errorf("core: empty tuning grid")
+	}
+	opts.Scheme = SWPF
+	var points []TunePoint
+	best := TunePoint{BatchLatencyCycles: -1}
+	for _, d := range dists {
+		for _, b := range blocks {
+			o := opts
+			o.Prefetch = embedding.PrefetchConfig{Dist: d, Blocks: b}
+			rep, err := Run(o)
+			if err != nil {
+				return nil, TunePoint{}, err
+			}
+			p := TunePoint{
+				Dist: d, Blocks: b,
+				BatchLatencyCycles: rep.BatchLatencyCycles,
+				L1HitRate:          rep.L1HitRate,
+				AvgLoadLatency:     rep.AvgLoadLatency,
+			}
+			points = append(points, p)
+			if best.BatchLatencyCycles < 0 || p.BatchLatencyCycles < best.BatchLatencyCycles {
+				best = p
+			}
+		}
+	}
+	return points, best, nil
+}

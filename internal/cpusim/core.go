@@ -1,0 +1,446 @@
+package cpusim
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/memsim"
+)
+
+// CoreParams sets the microarchitectural knobs of one physical core.
+type CoreParams struct {
+	// IssueWidth is the sustained issue rate in ops per cycle.
+	IssueWidth float64
+	// WindowSize is the instruction-window (ROB) depth in ops. A thread
+	// stalls when its oldest incomplete load falls WindowSize ops behind
+	// the issue point. Under SMT contention each thread sees half.
+	WindowSize int
+	// DemandMLP caps outstanding demand misses per core. It models the
+	// effective memory-level parallelism the out-of-order engine
+	// sustains for loads on the retirement path, and is therefore lower
+	// than the raw fill-buffer count.
+	DemandMLP int
+	// FillBuffers caps TOTAL outstanding fills (demand misses plus
+	// software/hardware prefetches), like a physical LFB/MSHR file
+	// shared by both SMT threads. Prefetches occupy fill buffers but
+	// never the instruction window — which is exactly why Algorithm 3
+	// helps: the same fills stop blocking retirement.
+	FillBuffers int
+	// PipelinedLatency is the largest load latency the out-of-order
+	// engine hides completely (roughly the L2 hit latency); cheaper
+	// loads never occupy miss-tracking resources.
+	PipelinedLatency int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p CoreParams) Validate() error {
+	if p.IssueWidth <= 0 {
+		return fmt.Errorf("cpusim: IssueWidth %g", p.IssueWidth)
+	}
+	if p.WindowSize < 2 {
+		return fmt.Errorf("cpusim: WindowSize %d", p.WindowSize)
+	}
+	if p.DemandMLP < 1 || p.FillBuffers < 1 {
+		return fmt.Errorf("cpusim: MLP caps %d/%d", p.DemandMLP, p.FillBuffers)
+	}
+	if p.FillBuffers < p.DemandMLP {
+		return fmt.Errorf("cpusim: FillBuffers %d < DemandMLP %d", p.FillBuffers, p.DemandMLP)
+	}
+	return nil
+}
+
+type inflightLoad struct {
+	completeAt float64
+	seq        int64
+}
+
+// thread is one SMT hardware context.
+type thread struct {
+	stream Stream
+	now    float64
+	start  float64
+	seq    int64
+	loads  []inflightLoad // this thread's in-flight loads, FIFO by seq
+	done   bool
+
+	// span describes the time interval consumed by the last op, used by
+	// the sibling to decide whether issue slots are contended.
+	spanEnd   float64
+	spanIssue bool // true: actively issuing; false: stalled on memory
+
+	// activeCyc accumulates time spent issuing/executing (stalls
+	// excluded); activeCyc / elapsed is the thread's pipeline duty
+	// cycle, which scales how much it slows a sibling down.
+	activeCyc float64
+
+	// stats
+	issued    int64
+	stallCyc  float64
+	computeCy float64
+}
+
+// duty returns the thread's pipeline duty cycle so far in [0, 1]. A
+// freshly started thread is assumed fully active.
+func (t *thread) duty() float64 {
+	elapsed := t.now - t.start
+	if elapsed <= 0 {
+		return 1
+	}
+	d := t.activeCyc / elapsed
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// ThreadResult summarizes one hardware context after a run.
+type ThreadResult struct {
+	// Cycles is the thread's completion time.
+	Cycles float64
+	// Issued is the number of ops the thread executed.
+	Issued int64
+	// StallCycles is time spent stalled on the window, MSHRs, or
+	// prefetch-queue backpressure.
+	StallCycles float64
+	// ComputeCycles is time spent in OpCompute execution.
+	ComputeCycles float64
+}
+
+// CoreResult summarizes a core run.
+type CoreResult struct {
+	// Cycles is the core's completion time (max over threads).
+	Cycles float64
+	// Threads holds per-context results, in the order streams were given.
+	Threads []ThreadResult
+}
+
+// Core models one physical core: up to two SMT contexts in front of a
+// private memsim.Hierarchy. The zero value is unusable; construct with
+// NewCore.
+type Core struct {
+	params CoreParams
+	hier   *memsim.Hierarchy
+
+	// Core-wide miss pools (completion times, ascending), shared by both
+	// SMT contexts like physical fill buffers.
+	demandPool   []float64
+	prefetchPool []float64
+
+	threads []*thread
+}
+
+// NewCore builds a core over the given private hierarchy. It panics on
+// invalid parameters (a configuration bug, not a runtime condition).
+func NewCore(params CoreParams, hier *memsim.Hierarchy) *Core {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{params: params, hier: hier}
+}
+
+// Hierarchy returns the core's private memory hierarchy.
+func (c *Core) Hierarchy() *memsim.Hierarchy { return c.hier }
+
+// Params returns the core's microarchitectural parameters.
+func (c *Core) Params() CoreParams { return c.params }
+
+// Run executes one or two streams to completion on the core's SMT
+// contexts, starting at cycle 0, and returns the timing summary. It is a
+// convenience wrapper for single-core experiments; multi-core runs are
+// driven by System, which interleaves cores itself.
+func (c *Core) Run(streams ...Stream) CoreResult {
+	c.Begin(streams...)
+	for {
+		t := c.nextThread()
+		if t == nil {
+			break
+		}
+		c.Step(t)
+	}
+	return c.Collect()
+}
+
+// Begin installs fresh streams on the core's SMT contexts starting at
+// cycle 0. One stream is single-threaded execution; two streams are SMT
+// siblings. Pools are cleared; the hierarchy's caches retain their
+// (possibly warmed) state.
+func (c *Core) Begin(streams ...Stream) { c.BeginAt(0, streams...) }
+
+// BeginAt is Begin with an explicit start time, used to chain pipeline
+// phases on one core: the next phase starts where the previous ended.
+func (c *Core) BeginAt(start float64, streams ...Stream) {
+	if len(streams) < 1 || len(streams) > 2 {
+		panic(fmt.Sprintf("cpusim: Begin with %d streams", len(streams)))
+	}
+	c.threads = c.threads[:0]
+	for _, s := range streams {
+		c.threads = append(c.threads, &thread{stream: s, now: start, start: start, spanEnd: start, spanIssue: true})
+	}
+	c.demandPool = c.demandPool[:0]
+	c.prefetchPool = c.prefetchPool[:0]
+}
+
+// Done reports whether all contexts have drained their streams.
+func (c *Core) Done() bool {
+	for _, t := range c.threads {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// NextTime returns the simulated time at which the core wants to issue its
+// next op, or false when finished. System uses it for earliest-first
+// interleaving across cores.
+func (c *Core) NextTime() (float64, bool) {
+	t := c.nextThread()
+	if t == nil {
+		return 0, false
+	}
+	return t.now, true
+}
+
+// StepEarliest advances the core's earliest runnable context by one op.
+func (c *Core) StepEarliest() {
+	if t := c.nextThread(); t != nil {
+		c.Step(t)
+	}
+}
+
+// Collect returns the timing summary of the current/finished run.
+func (c *Core) Collect() CoreResult {
+	res := CoreResult{Threads: make([]ThreadResult, len(c.threads))}
+	for i, t := range c.threads {
+		res.Threads[i] = ThreadResult{
+			Cycles:        t.now,
+			Issued:        t.issued,
+			StallCycles:   t.stallCyc,
+			ComputeCycles: t.computeCy,
+		}
+		if t.now > res.Cycles {
+			res.Cycles = t.now
+		}
+	}
+	return res
+}
+
+func (c *Core) nextThread() *thread {
+	var best *thread
+	for _, t := range c.threads {
+		if t.done {
+			continue
+		}
+		if best == nil || t.now < best.now {
+			best = t
+		}
+	}
+	return best
+}
+
+func (c *Core) sibling(t *thread) *thread {
+	for _, o := range c.threads {
+		if o != t {
+			return o
+		}
+	}
+	return nil
+}
+
+// contention returns the issue-slowdown factor in [1, 2] imposed by the
+// sibling context. A sibling inside a memory-stall span costs nothing —
+// its slots are donated (the SMT effect MP-HT exploits). An active
+// sibling costs in proportion to its pipeline duty cycle: a compute-bound
+// sibling (duty ≈ 1) halves throughput, a memory-bound sibling that only
+// issues a few ops between stalls (duty ≈ 0.2) costs ~20%.
+func (c *Core) contention(t *thread) float64 {
+	sib := c.sibling(t)
+	if sib == nil || sib.done {
+		return 1
+	}
+	if sib.now > t.now && !sib.spanIssue {
+		// Sibling's clock is ahead because it is waiting on memory.
+		return 1
+	}
+	return 1 + sib.duty()
+}
+
+// Step executes one op from thread t.
+//
+// Timing rules (see DESIGN.md §5):
+//   - every op pays 1/width issue cycles (width halves under contention);
+//   - OpCompute additionally pays its Cost (doubled under contention);
+//   - OpLoad consults the hierarchy; latencies above PipelinedLatency
+//     enter the shared demand pool (stall when full) and the thread's
+//     window FIFO (stall when the oldest is WindowSize ops behind);
+//   - OpPrefetch consults the hierarchy but only ever occupies the
+//     prefetch pool, applying backpressure when it is full;
+//   - OpStore updates cache state and never stalls (write buffering).
+func (c *Core) Step(t *thread) {
+	var op Op
+	if !t.stream.Next(&op) {
+		// Drain: completion waits for the thread's outstanding loads.
+		if n := len(t.loads); n > 0 {
+			if last := t.loads[n-1].completeAt; last > t.now {
+				t.stallCyc += last - t.now
+				t.now = last
+			}
+			t.loads = t.loads[:0]
+		}
+		t.done = true
+		return
+	}
+	t.seq++
+	t.issued++
+
+	factor := c.contention(t)
+	width := c.params.IssueWidth / factor
+	window := int(float64(c.params.WindowSize) / factor)
+	t.spanIssue = true
+	issueCyc := 1 / width
+	t.now += issueCyc
+	t.activeCyc += issueCyc
+
+	switch op.Kind {
+	case OpCompute:
+		cost := op.Cost * factor
+		t.now += cost
+		t.activeCyc += cost
+		t.computeCy += cost
+
+	case OpStore:
+		c.hier.Access(int64(t.now), op.Addr, memsim.KindStore)
+
+	case OpLoad:
+		res := c.hier.Access(int64(t.now), op.Addr, memsim.KindLoad)
+		if res.Latency > c.params.PipelinedLatency {
+			completeAt := t.now + float64(res.Latency)
+			c.drain(&c.demandPool, t.now)
+			c.drain(&c.prefetchPool, t.now)
+			if len(c.demandPool) >= c.params.DemandMLP {
+				c.stallUntil(t, c.demandPool[0])
+				popFront(&c.demandPool)
+			}
+			if len(c.demandPool)+len(c.prefetchPool) >= c.params.FillBuffers {
+				c.stallUntil(t, c.earliestFill())
+				c.popEarliestFill()
+			}
+			insertSorted(&c.demandPool, completeAt)
+			t.loads = append(t.loads, inflightLoad{completeAt: completeAt, seq: t.seq})
+		}
+		// Window occupancy: retire completed loads, then stall if the
+		// oldest incomplete one is too far behind.
+		t.trimLoads()
+		if len(t.loads) > 0 && t.seq-t.loads[0].seq >= int64(window) {
+			c.stallUntil(t, t.loads[0].completeAt)
+			n := copy(t.loads, t.loads[1:])
+			t.loads = t.loads[:n]
+		}
+
+	case OpPrefetch:
+		hint := op.Hint
+		if !hint.IsPrefetch() {
+			hint = memsim.KindPrefetchL1
+		}
+		res := c.hier.Access(int64(t.now), op.Addr, hint)
+		if res.Latency > c.params.PipelinedLatency {
+			c.drain(&c.demandPool, t.now)
+			c.drain(&c.prefetchPool, t.now)
+			if len(c.demandPool)+len(c.prefetchPool) >= c.params.FillBuffers {
+				c.stallUntil(t, c.earliestFill())
+				c.popEarliestFill()
+			}
+			insertSorted(&c.prefetchPool, t.now+float64(res.Latency))
+		}
+
+	default:
+		panic(fmt.Sprintf("cpusim: unknown op kind %d", op.Kind))
+	}
+	t.spanEnd = t.now
+}
+
+// earliestFill returns the soonest completion time across both fill
+// pools (the pools are non-empty when called).
+func (c *Core) earliestFill() float64 {
+	switch {
+	case len(c.demandPool) == 0:
+		return c.prefetchPool[0]
+	case len(c.prefetchPool) == 0:
+		return c.demandPool[0]
+	case c.demandPool[0] <= c.prefetchPool[0]:
+		return c.demandPool[0]
+	default:
+		return c.prefetchPool[0]
+	}
+}
+
+// popEarliestFill removes the entry earliestFill returned.
+func (c *Core) popEarliestFill() {
+	switch {
+	case len(c.demandPool) == 0:
+		popFront(&c.prefetchPool)
+	case len(c.prefetchPool) == 0:
+		popFront(&c.demandPool)
+	case c.demandPool[0] <= c.prefetchPool[0]:
+		popFront(&c.demandPool)
+	default:
+		popFront(&c.prefetchPool)
+	}
+}
+
+// stallUntil advances t to wake (if in the future), accounting the stall
+// and marking the span as non-issuing so the sibling inherits the slots.
+func (c *Core) stallUntil(t *thread, wake float64) {
+	if wake > t.now {
+		t.stallCyc += wake - t.now
+		t.now = wake
+		t.spanIssue = false
+	}
+}
+
+// drain removes pool entries already completed by time now. Entries are
+// compacted to the front of the backing array (rather than re-slicing
+// forward) so the pool never grows its allocation.
+func (c *Core) drain(pool *[]float64, now float64) {
+	p := *pool
+	i := 0
+	for i < len(p) && p[i] <= now {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	n := copy(p, p[i:])
+	*pool = p[:n]
+}
+
+// popFront removes the first entry, compacting in place.
+func popFront(pool *[]float64) {
+	p := *pool
+	n := copy(p, p[1:])
+	*pool = p[:n]
+}
+
+func (t *thread) trimLoads() {
+	i := 0
+	for i < len(t.loads) && t.loads[i].completeAt <= t.now {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	n := copy(t.loads, t.loads[i:])
+	t.loads = t.loads[:n]
+}
+
+// insertSorted inserts v keeping the slice ascending. Pools are tiny
+// (≤ tens of entries), so linear insertion is fastest.
+func insertSorted(pool *[]float64, v float64) {
+	p := append(*pool, v)
+	i := len(p) - 1
+	for i > 0 && p[i-1] > v {
+		p[i] = p[i-1]
+		i--
+	}
+	p[i] = v
+	*pool = p
+}

@@ -1,0 +1,111 @@
+package cpusim
+
+import (
+	"testing"
+
+	"dlrmsim/internal/memsim"
+)
+
+func numaParams(sockets, coresPer int) NUMAParams {
+	return NUMAParams{
+		Core:             testCoreParams(),
+		Mem:              testMemParams(false),
+		Sockets:          sockets,
+		CoresPerSocket:   coresPer,
+		RemotePenaltyCyc: 150,
+	}
+}
+
+func TestNUMASingleSocketMatchesSystem(t *testing.T) {
+	work := []CoreWork{SingleWork(loadFactory(200, 0))}
+	numa := NewNUMASystem(numaParams(1, 2)).Run(work)
+	flat := NewSystem(testSystemParams(2)).Run(work)
+	ratio := numa.Cycles / flat.Cycles
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("1-socket NUMA (%g) != flat system (%g)", numa.Cycles, flat.Cycles)
+	}
+	if numa.RemoteFillFraction != 0 {
+		t.Fatalf("1-socket run reported %g remote fills", numa.RemoteFillFraction)
+	}
+}
+
+func TestNUMARemoteAccessesCostMore(t *testing.T) {
+	// One core on socket 0 scanning page-interleaved memory (stride of
+	// one page plus a line, so consecutive accesses alternate home
+	// sockets): ~half the fills are remote, so the run must be slower
+	// than a UMA system and must report remote traffic.
+	pageLoads := func() Stream {
+		ops := make([]Op, 400)
+		for i := range ops {
+			ops[i] = Op{Kind: OpLoad, Addr: memsim.Addr(i) * (4096 + 64)}
+		}
+		return NewSliceStream(ops)
+	}
+	work := []CoreWork{SingleWork(func() Stream { return pageLoads() })}
+	numa := NewNUMASystem(numaParams(2, 1)).Run(work)
+	flat := NewSystem(testSystemParams(1)).Run(work)
+	if numa.Cycles <= flat.Cycles {
+		t.Fatalf("NUMA run (%g) not slower than UMA (%g)", numa.Cycles, flat.Cycles)
+	}
+	if numa.RemoteFillFraction < 0.3 || numa.RemoteFillFraction > 0.7 {
+		t.Fatalf("remote fill fraction = %g, want ~0.5 under page interleaving", numa.RemoteFillFraction)
+	}
+	if numa.AvgLoadLatency <= flat.AvgLoadLatency {
+		t.Fatalf("NUMA load latency %g not above UMA %g", numa.AvgLoadLatency, flat.AvgLoadLatency)
+	}
+}
+
+func TestNUMATwoSocketsDoubleBandwidth(t *testing.T) {
+	// Symmetric load on both sockets: aggregate bandwidth should exceed
+	// one socket's run.
+	mk := func(n int) []CoreWork {
+		w := make([]CoreWork, n)
+		for i := range w {
+			w[i] = SingleWork(loadFactory(400, memsim.Addr(i)<<32))
+		}
+		return w
+	}
+	two := NewNUMASystem(numaParams(2, 2)).Run(mk(4))
+	var bwTwo float64
+	for _, b := range two.SocketBandwidthBytesPerCyc {
+		bwTwo += b
+	}
+	one := NewSystem(testSystemParams(2)).Run(mk(2))
+	if bwTwo <= one.BandwidthBytesPerCyc {
+		t.Fatalf("2-socket bandwidth %.2f not above 1-socket %.2f", bwTwo, one.BandwidthBytesPerCyc)
+	}
+	if len(two.PerCore) != 4 {
+		t.Fatalf("per-core results = %d", len(two.PerCore))
+	}
+}
+
+func TestNUMAPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewNUMASystem(numaParams(0, 1)) },
+		func() { NewNUMASystem(numaParams(1, 0)) },
+		func() { NewNUMASystem(numaParams(1, 1)).Run(make([]CoreWork, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNUMADeterministic(t *testing.T) {
+	run := func() NUMAResult {
+		return NewNUMASystem(numaParams(2, 2)).Run([]CoreWork{
+			SingleWork(loadFactory(100, 0)),
+			SingleWork(loadFactory(100, 1<<32)),
+			SingleWork(loadFactory(100, 2<<32)),
+		})
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.AvgLoadLatency != b.AvgLoadLatency {
+		t.Fatal("NUMA run not deterministic")
+	}
+}

@@ -1,0 +1,328 @@
+package cpusim
+
+import (
+	"fmt"
+	"math"
+
+	"dlrmsim/internal/memsim"
+)
+
+// SystemParams configures a multi-core run.
+type SystemParams struct {
+	Core CoreParams
+	Mem  memsim.MemParams
+	// Cores is the number of physical cores to instantiate.
+	Cores int
+	// BandwidthIterations is how many fixed-point refinements of the DRAM
+	// utilization to run (see DESIGN.md §5). 0 means the default of 3.
+	BandwidthIterations int
+	// InitialUtilization seeds the fixed point; useful when the caller
+	// already knows the run is bandwidth-bound.
+	InitialUtilization float64
+}
+
+// Phase is one stage of a core's pipeline: one stream runs the phase
+// single-threaded, two run as SMT siblings (e.g. MP-HT's embedding +
+// Bottom-MLP pair). Phases of one core run back to back; different cores
+// are independent.
+type Phase struct {
+	// Label names the phase in results (e.g. "embedding", "bottom-mlp").
+	Label string
+	// Streams holds 1 or 2 stream factories.
+	Streams []StreamFactory
+}
+
+// CoreWork is the phased workload for one core.
+type CoreWork struct {
+	Phases []Phase
+}
+
+// SingleWork wraps plain streams as a one-phase CoreWork (convenience for
+// workloads without stage structure).
+func SingleWork(streams ...StreamFactory) CoreWork {
+	return CoreWork{Phases: []Phase{{Label: "work", Streams: streams}}}
+}
+
+// PhaseResult reports one executed phase on one core.
+type PhaseResult struct {
+	Label string
+	// Start and End are absolute simulated times; End-Start is the
+	// phase's duration on that core.
+	Start, End float64
+	// Threads holds the per-SMT-context stats for the phase.
+	Threads []ThreadResult
+}
+
+// CoreRunResult aggregates one core's phased execution.
+type CoreRunResult struct {
+	// Cycles is the core's total completion time.
+	Cycles float64
+	// Phases lists per-phase results in execution order.
+	Phases []PhaseResult
+}
+
+// PhaseCycles returns the summed duration of all phases with the label.
+func (c CoreRunResult) PhaseCycles(label string) float64 {
+	var total float64
+	for _, p := range c.Phases {
+		if p.Label == label {
+			total += p.End - p.Start
+		}
+	}
+	return total
+}
+
+// SystemResult aggregates a multi-core simulation.
+type SystemResult struct {
+	// Cycles is the completion time of the slowest core.
+	Cycles float64
+	// PerCore holds each core's result, index-aligned with the work.
+	PerCore []CoreRunResult
+	// DRAMBytes is the total traffic the run moved from memory.
+	DRAMBytes uint64
+	// BandwidthBytesPerCyc is realized DRAM bandwidth (bytes/cycle).
+	BandwidthBytesPerCyc float64
+	// BandwidthUtilization is realized bandwidth over the platform peak.
+	BandwidthUtilization float64
+	// AvgLoadLatency is the demand-load latency averaged over all cores.
+	AvgLoadLatency float64
+	// L1HitRate, L2HitRate, L3HitRate are demand hit rates aggregated
+	// over all cores.
+	L1HitRate, L2HitRate, L3HitRate float64
+	// SWPrefetches counts software prefetch ops issued across cores.
+	SWPrefetches uint64
+}
+
+// MeanPhaseCycles returns the mean duration of the labeled phase across
+// cores that executed it.
+func (r SystemResult) MeanPhaseCycles(label string) float64 {
+	var total float64
+	n := 0
+	for _, c := range r.PerCore {
+		for _, p := range c.Phases {
+			if p.Label == label {
+				total += p.End - p.Start
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// MeanCoreCycles returns the mean completion time across active cores —
+// the per-batch latency when each core processes one batch.
+func (r SystemResult) MeanCoreCycles() float64 {
+	if len(r.PerCore) == 0 {
+		return 0
+	}
+	var total float64
+	for _, c := range r.PerCore {
+		total += c.Cycles
+	}
+	return total / float64(len(r.PerCore))
+}
+
+// System owns the cores and shared memory of one simulated socket.
+type System struct {
+	params SystemParams
+	shared *memsim.Shared
+	cores  []*Core
+}
+
+// NewSystem builds a socket with params.Cores cores. It panics on invalid
+// configuration.
+func NewSystem(params SystemParams) *System {
+	if params.Cores < 1 {
+		panic(fmt.Sprintf("cpusim: %d cores", params.Cores))
+	}
+	if err := params.Core.Validate(); err != nil {
+		panic(err)
+	}
+	if params.BandwidthIterations <= 0 {
+		params.BandwidthIterations = 3
+	}
+	s := &System{params: params, shared: memsim.NewShared(params.Mem)}
+	for i := 0; i < params.Cores; i++ {
+		hier := memsim.NewHierarchy(params.Mem, s.shared)
+		s.cores = append(s.cores, NewCore(params.Core, hier))
+	}
+	return s
+}
+
+// Shared exposes the socket's LLC and DRAM.
+func (s *System) Shared() *memsim.Shared { return s.shared }
+
+// Cores returns the core count.
+func (s *System) Cores() int { return len(s.cores) }
+
+// Core returns core i (for counter inspection after a run).
+func (s *System) Core(i int) *Core { return s.cores[i] }
+
+// Run simulates the given per-core work to completion. len(work) must not
+// exceed the core count; unassigned cores stay idle. Cores interleave
+// earliest-first in simulated time, so shared-LLC interactions
+// (constructive and destructive) happen in causal order.
+//
+// DRAM bandwidth is resolved by fixed point: the run is simulated with a
+// guessed utilization ρ, the realized utilization is measured, and the
+// guess is updated (damped) until the iteration budget is spent or the
+// guess converges. The final iteration's state is returned.
+func (s *System) Run(work []CoreWork) SystemResult {
+	if len(work) > len(s.cores) {
+		panic(fmt.Sprintf("cpusim: %d work items for %d cores", len(work), len(s.cores)))
+	}
+	rho := s.params.InitialUtilization
+	var res SystemResult
+	for iter := 0; iter < s.params.BandwidthIterations; iter++ {
+		s.shared.Reset()
+		s.shared.DRAM.SetUtilization(rho)
+		res = s.runOnce(work)
+		if res.Cycles <= 0 {
+			break
+		}
+		realized := res.BandwidthUtilization
+		if math.Abs(realized-rho) < 0.01 {
+			break
+		}
+		rho = (rho + realized) / 2
+	}
+	return res
+}
+
+type coreState struct {
+	core       *Core
+	work       CoreWork
+	phase      int
+	phaseStart float64
+	res        CoreRunResult
+	done       bool
+}
+
+func (cs *coreState) beginPhase() {
+	ph := cs.work.Phases[cs.phase]
+	streams := make([]Stream, len(ph.Streams))
+	for i, f := range ph.Streams {
+		streams[i] = f()
+	}
+	cs.core.BeginAt(cs.phaseStart, streams...)
+}
+
+func (cs *coreState) finishPhase() {
+	ph := cs.work.Phases[cs.phase]
+	cr := cs.core.Collect()
+	end := cr.Cycles
+	if end < cs.phaseStart {
+		end = cs.phaseStart
+	}
+	cs.res.Phases = append(cs.res.Phases, PhaseResult{
+		Label: ph.Label, Start: cs.phaseStart, End: end, Threads: cr.Threads,
+	})
+	cs.phase++
+	if cs.phase < len(cs.work.Phases) {
+		cs.phaseStart = end
+		cs.beginPhase()
+		return
+	}
+	cs.res.Cycles = end
+	cs.done = true
+}
+
+func (s *System) runOnce(work []CoreWork) SystemResult {
+	states := make([]*coreState, 0, len(work))
+	for i, w := range work {
+		core := s.cores[i]
+		core.Hierarchy().Reset()
+		cs := &coreState{core: core, work: w}
+		if len(w.Phases) == 0 {
+			cs.done = true
+		} else {
+			cs.beginPhase()
+		}
+		states = append(states, cs)
+	}
+
+	runStates(states)
+
+	res := SystemResult{PerCore: make([]CoreRunResult, len(states))}
+	var loads, l1h, l1m, l2h, l2m, swpf uint64
+	var latSum int64
+	for i, cs := range states {
+		res.PerCore[i] = cs.res
+		if cs.res.Cycles > res.Cycles {
+			res.Cycles = cs.res.Cycles
+		}
+		hs := cs.core.Hierarchy().Stats
+		loads += hs.Loads
+		latSum += hs.LoadLatencySum
+		swpf += hs.SWPrefetches
+		l1h += cs.core.Hierarchy().L1.Stats.DemandHits
+		l1m += cs.core.Hierarchy().L1.Stats.DemandMisses
+		l2h += cs.core.Hierarchy().L2.Stats.DemandHits
+		l2m += cs.core.Hierarchy().L2.Stats.DemandMisses
+	}
+	res.DRAMBytes = s.shared.DRAM.Stats.BytesRead
+	if res.Cycles > 0 {
+		res.BandwidthBytesPerCyc = float64(res.DRAMBytes) / res.Cycles
+		res.BandwidthUtilization = res.BandwidthBytesPerCyc / s.params.Mem.DRAM.PeakBandwidthBytesPerCyc
+	}
+	if loads > 0 {
+		res.AvgLoadLatency = float64(latSum) / float64(loads)
+	}
+	res.L1HitRate = rate(l1h, l1m)
+	res.L2HitRate = rate(l2h, l2m)
+	res.SWPrefetches = swpf
+	l3 := s.shared.L3.Stats
+	res.L3HitRate = rate(l3.DemandHits, l3.DemandMisses)
+	return res
+}
+
+// runStates drives a set of per-core phase state machines to completion
+// with earliest-first interleaving. The earliest core is stepped in a
+// burst until its clock passes the runner-up: cores only interact through
+// the shared LLC and DRAM, so sub-runner-up reordering is unobservable,
+// and the burst removes the per-op scheduling scan.
+func runStates(states []*coreState) {
+	for {
+		var best *coreState
+		bestT, nextT := math.Inf(1), math.Inf(1)
+		for _, cs := range states {
+			if cs.done {
+				continue
+			}
+			t, ok := cs.core.NextTime()
+			if !ok {
+				continue
+			}
+			if t < bestT {
+				best, bestT, nextT = cs, t, bestT
+			} else if t < nextT {
+				nextT = t
+			}
+		}
+		if best == nil {
+			break
+		}
+		for {
+			best.core.StepEarliest()
+			for !best.done && best.core.Done() {
+				best.finishPhase()
+			}
+			if best.done {
+				break
+			}
+			if t, ok := best.core.NextTime(); !ok || t > nextT {
+				break
+			}
+		}
+	}
+}
+
+func rate(h, m uint64) float64 {
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

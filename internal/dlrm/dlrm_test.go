@@ -1,0 +1,205 @@
+package dlrm
+
+import (
+	"math"
+	"testing"
+
+	"dlrmsim/internal/cpusim"
+	"dlrmsim/internal/trace"
+)
+
+func TestZooConfigsValidate(t *testing.T) {
+	for _, cfg := range Zoo() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestTable2Footprints(t *testing.T) {
+	// Table 2's "Emb. Size (GB)" column: rm2_1 28.6, rm2_2 57.2,
+	// rm2_3 81.1, rm1 3.8.
+	cases := []struct {
+		cfg    Config
+		wantGB float64
+	}{
+		{RM2Small(), 28.6}, {RM2Medium(), 57.2}, {RM2Large(), 81.1}, {RM1(), 3.8},
+	}
+	for _, c := range cases {
+		gotGB := float64(c.cfg.EmbeddingBytes()) / 1e9
+		if math.Abs(gotGB-c.wantGB)/c.wantGB > 0.1 {
+			t.Errorf("%s: embedding size %.1f GB, paper says %.1f", c.cfg.Name, gotGB, c.wantGB)
+		}
+	}
+}
+
+func TestTable2PerTableCapacity(t *testing.T) {
+	// Paper: 488.3 MB per table for RM2, 122.0 MB for RM1 (MB = 2^20).
+	if got := float64(RM2Small().PerTableBytes()) / (1 << 20); math.Abs(got-488.3) > 1 {
+		t.Errorf("RM2 per-table = %.1f MiB", got)
+	}
+	if got := float64(RM1().PerTableBytes()) / (1 << 20); math.Abs(got-122.0) > 1 {
+		t.Errorf("RM1 per-table = %.1f MiB", got)
+	}
+}
+
+func TestConfigValidateRejectsBadShapes(t *testing.T) {
+	bad := RM2Small()
+	bad.BottomMLP = []int{256, 64} // doesn't end in EmbDim
+	if bad.Validate() == nil {
+		t.Fatal("accepted bottom-MLP mismatch")
+	}
+	bad = RM2Small()
+	bad.TopMLP = []int{64, 2}
+	if bad.Validate() == nil {
+		t.Fatal("accepted top-MLP output != 1")
+	}
+	bad = RM2Small()
+	bad.Tables = 0
+	if bad.Validate() == nil {
+		t.Fatal("accepted zero tables")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"rm1", "rm2_1", "rm2_2", "rm2_3"} {
+		cfg, err := ByName(name)
+		if err != nil || cfg.Name != name {
+			t.Fatalf("ByName(%q) = %+v, %v", name, cfg, err)
+		}
+	}
+	if _, err := ByName("rm9"); err == nil {
+		t.Fatal("accepted unknown model")
+	}
+}
+
+func TestScaledPreservesStructure(t *testing.T) {
+	s := RM2Large().Scaled(10)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tables != 17 || s.LookupsPerSample != 18 || s.RowsPerTable != 100_000 {
+		t.Fatalf("scaled dims: %+v", s)
+	}
+	if s.EmbDim != 128 {
+		t.Fatal("scaling must not touch the embedding dimension")
+	}
+	if s.BottomMLP[len(s.BottomMLP)-1] != 128 || s.TopMLP[len(s.TopMLP)-1] != 1 {
+		t.Fatal("scaled MLP endpoints broken")
+	}
+}
+
+func TestScaledFactorOneIsIdentity(t *testing.T) {
+	if got := RM1().Scaled(1); got.Name != "rm1" || got.Tables != 32 {
+		t.Fatalf("Scaled(1) changed the config: %+v", got)
+	}
+}
+
+func testModel(t *testing.T) (*Model, *trace.Dataset) {
+	t.Helper()
+	cfg := RM2Small().Scaled(20) // 3 tables, 6 lookups
+	m, err := New(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.NewDataset(trace.Config{
+		Hotness: trace.MediumHot, Rows: cfg.RowsPerTable, Tables: cfg.Tables,
+		BatchSize: 4, LookupsPerSample: cfg.LookupsPerSample, Batches: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+func TestInferProducesProbabilities(t *testing.T) {
+	m, ds := testModel(t)
+	dense := m.DenseBatch(4, 9)
+	preds, err := m.Infer(dense, func(tbl int) trace.TableBatch { return ds.Batch(0, tbl) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 4 {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	for i, p := range preds {
+		if p <= 0 || p >= 1 || math.IsNaN(float64(p)) {
+			t.Fatalf("prediction %d = %g not a probability", i, p)
+		}
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	m, ds := testModel(t)
+	dense := m.DenseBatch(4, 9)
+	src := func(tbl int) trace.TableBatch { return ds.Batch(0, tbl) }
+	a, err := m.Infer(dense, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Infer(dense, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("inference not deterministic")
+		}
+	}
+}
+
+func TestInferDifferentInputsDiffer(t *testing.T) {
+	m, ds := testModel(t)
+	dense := m.DenseBatch(4, 9)
+	a, _ := m.Infer(dense, func(tbl int) trace.TableBatch { return ds.Batch(0, tbl) })
+	b, _ := m.Infer(dense, func(tbl int) trace.TableBatch { return ds.Batch(1, tbl) })
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different sparse inputs gave identical predictions")
+	}
+}
+
+func TestInferRejectsBatchMismatch(t *testing.T) {
+	m, ds := testModel(t)
+	dense := m.DenseBatch(3, 9) // dataset batches are 4 samples
+	if _, err := m.Infer(dense, func(tbl int) trace.TableBatch { return ds.Batch(0, tbl) }); err == nil {
+		t.Fatal("accepted batch-size mismatch")
+	}
+}
+
+func TestStageStreamsNonEmpty(t *testing.T) {
+	m, ds := testModel(t)
+	p := StreamParams{FlopsPerCycle: 32, Batch: 4, BufBase: 1 << 33}
+	for name, s := range map[string]cpusim.Stream{
+		"embedding": m.EmbeddingStream(func(tbl int) trace.TableBatch { return ds.Batch(0, tbl) }, p),
+		"bottom":    m.BottomStream(p),
+		"top":       m.TopStream(p),
+	} {
+		counts := cpusim.CountOps(s)
+		var total int64
+		for _, n := range counts {
+			total += n
+		}
+		if total == 0 {
+			t.Errorf("%s stream is empty", name)
+		}
+	}
+}
+
+func TestDenseBatchDeterministic(t *testing.T) {
+	m, _ := testModel(t)
+	a := m.DenseBatch(2, 1)
+	b := m.DenseBatch(2, 1)
+	if a[0][0] != b[0][0] || a[1][5] != b[1][5] {
+		t.Fatal("dense batch not deterministic")
+	}
+	c := m.DenseBatch(2, 2)
+	if a[0][0] == c[0][0] && a[0][1] == c[0][1] {
+		t.Fatal("different seeds identical")
+	}
+}

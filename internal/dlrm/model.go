@@ -1,0 +1,189 @@
+package dlrm
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/cpusim"
+	"dlrmsim/internal/embedding"
+	"dlrmsim/internal/memsim"
+	"dlrmsim/internal/nn"
+	"dlrmsim/internal/stats"
+)
+
+// Model is an instantiated DLRM: procedural embedding tables and MLPs
+// built from a Config. Models are cheap to construct (no weight storage).
+type Model struct {
+	cfg      Config
+	tables   []*embedding.Table
+	bottom   *nn.MLP
+	top      *nn.MLP
+	interact nn.Interactor
+}
+
+// New builds a model from cfg with all parameters derived from seed.
+func New(cfg Config, seed uint64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg}
+	for t := 0; t < cfg.Tables; t++ {
+		m.tables = append(m.tables, embedding.NewTypedTable(t, cfg.RowsPerTable, cfg.EmbDim, seed, cfg.EmbDType))
+	}
+	switch cfg.Interaction {
+	case CrossInteraction:
+		ci, err := nn.NewCrossInteraction(cfg.EmbDim, cfg.Tables, seed)
+		if err != nil {
+			return nil, err
+		}
+		m.interact = ci
+	case ConcatInteraction:
+		m.interact = nn.ConcatInteraction{Dim: cfg.EmbDim, Tables: cfg.Tables}
+	default:
+		m.interact = nn.Interaction{Dim: cfg.EmbDim, Tables: cfg.Tables}
+	}
+	bottomDims := append([]int{DenseFeatures}, cfg.BottomMLP...)
+	bot, err := nn.NewMLP(cfg.Name+"/bottom", bottomDims, seed^0xB0, false)
+	if err != nil {
+		return nil, err
+	}
+	topDims := append([]int{m.interact.OutputDim()}, cfg.TopMLP...)
+	top, err := nn.NewMLP(cfg.Name+"/top", topDims, seed^0x70, true)
+	if err != nil {
+		return nil, err
+	}
+	m.bottom, m.top = bot, top
+	return m, nil
+}
+
+// Config returns the model's architecture.
+func (m *Model) Config() Config { return m.cfg }
+
+// Tables returns the embedding tables.
+func (m *Model) Tables() []*embedding.Table { return m.tables }
+
+// Bottom and Top return the MLPs.
+func (m *Model) Bottom() *nn.MLP { return m.bottom }
+
+// Top returns the top MLP.
+func (m *Model) Top() *nn.MLP { return m.top }
+
+// Interaction returns the feature-interaction layer.
+func (m *Model) Interaction() nn.Interactor { return m.interact }
+
+// DenseBatch synthesizes a deterministic batch of dense-feature inputs.
+func (m *Model) DenseBatch(batchSize int, seed uint64) [][]float32 {
+	out := make([][]float32, batchSize)
+	for s := range out {
+		row := make([]float32, DenseFeatures)
+		for f := range row {
+			row[f] = float32(stats.MixFloat01(seed ^ uint64(s)<<16 ^ uint64(f)))
+		}
+		out[s] = row
+	}
+	return out
+}
+
+// Infer runs the full numeric pipeline for one batch: dense features per
+// sample plus, per table, the embedding_bag inputs. It returns the CTR
+// prediction for each sample.
+func (m *Model) Infer(dense [][]float32, src embedding.BatchSource) ([]float32, error) {
+	batch := len(dense)
+	if batch == 0 {
+		return nil, fmt.Errorf("dlrm: empty batch")
+	}
+	bottomOut, err := m.bottom.Forward(dense)
+	if err != nil {
+		return nil, err
+	}
+	pooled, err := m.EmbedBatch(batch, src)
+	if err != nil {
+		return nil, err
+	}
+	return m.InteractTop(bottomOut, pooled)
+}
+
+// EmbedBatch runs the embedding stage numerically for one batch and
+// returns pooled vectors indexed [table][sample][dim]. batch is the
+// expected batch size (each table's inputs must match it).
+func (m *Model) EmbedBatch(batch int, src embedding.BatchSource) ([][][]float32, error) {
+	pooled := make([][][]float32, m.cfg.Tables)
+	for t, tbl := range m.tables {
+		tb := src(t)
+		if got := len(tb.Offsets) - 1; got != batch {
+			return nil, fmt.Errorf("dlrm: table %d batch size %d, want %d", t, got, batch)
+		}
+		out, err := embedding.Bag(tbl, tb, nil)
+		if err != nil {
+			return nil, err
+		}
+		pooled[t] = out
+	}
+	return pooled, nil
+}
+
+// InteractTop runs the feature-interaction and top-MLP stages: bottomOut
+// is the bottom-MLP output per sample; pooled is EmbedBatch's result. It
+// returns the CTR prediction per sample.
+func (m *Model) InteractTop(bottomOut [][]float32, pooled [][][]float32) ([]float32, error) {
+	if len(pooled) != m.cfg.Tables {
+		return nil, fmt.Errorf("dlrm: %d pooled tables, want %d", len(pooled), m.cfg.Tables)
+	}
+	preds := make([]float32, len(bottomOut))
+	embVecs := make([][]float32, m.cfg.Tables)
+	for s := range bottomOut {
+		for t := range pooled {
+			if s >= len(pooled[t]) {
+				return nil, fmt.Errorf("dlrm: table %d has only %d samples", t, len(pooled[t]))
+			}
+			embVecs[t] = pooled[t][s]
+		}
+		z, err := m.interact.Forward(bottomOut[s], embVecs)
+		if err != nil {
+			return nil, err
+		}
+		topOut, err := m.top.Forward([][]float32{z})
+		if err != nil {
+			return nil, err
+		}
+		preds[s] = topOut[0][0]
+	}
+	return preds, nil
+}
+
+// StreamParams configures instruction-stream generation for the pipeline
+// stages.
+type StreamParams struct {
+	// FlopsPerCycle is the platform's effective fp32 throughput.
+	FlopsPerCycle float64
+	// Batch is the batch size.
+	Batch int
+	// BufBase is the batch's private buffer region (embedding inputs and
+	// outputs); concurrent batches need disjoint regions.
+	BufBase memsim.Addr
+	// Prefetch enables Algorithm 3 software prefetching in the
+	// embedding stage.
+	Prefetch embedding.PrefetchConfig
+}
+
+// EmbeddingStream returns the embedding stage's instruction stream.
+func (m *Model) EmbeddingStream(src embedding.BatchSource, p StreamParams) cpusim.Stream {
+	return embedding.NewStageStream(m.tables, src, embedding.StreamConfig{
+		Prefetch:      p.Prefetch,
+		FlopsPerCycle: p.FlopsPerCycle,
+		BufBase:       p.BufBase,
+	})
+}
+
+// BottomStream returns the bottom-MLP stage's instruction stream.
+func (m *Model) BottomStream(p StreamParams) cpusim.Stream {
+	return m.bottom.NewStream(nn.StreamConfig{FlopsPerCycle: p.FlopsPerCycle, Batch: p.Batch})
+}
+
+// TopStream returns the interaction + top-MLP instruction stream (the two
+// stages the paper leaves on the main thread in every scheme).
+func (m *Model) TopStream(p StreamParams) cpusim.Stream {
+	return cpusim.NewConcatStream(
+		m.interact.NewStream(nn.StreamConfig{FlopsPerCycle: p.FlopsPerCycle, Batch: p.Batch}),
+		m.top.NewStream(nn.StreamConfig{FlopsPerCycle: p.FlopsPerCycle, Batch: p.Batch}),
+	)
+}

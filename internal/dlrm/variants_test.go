@@ -1,0 +1,134 @@
+package dlrm
+
+import (
+	"math"
+	"testing"
+
+	"dlrmsim/internal/embedding"
+	"dlrmsim/internal/trace"
+)
+
+func TestModelAccessors(t *testing.T) {
+	cfg := RM2Small().Scaled(20)
+	m, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Config().Name != cfg.Name {
+		t.Fatal("Config accessor")
+	}
+	if len(m.Tables()) != cfg.Tables {
+		t.Fatal("Tables accessor")
+	}
+	if m.Bottom() == nil || m.Top() == nil || m.Interaction() == nil {
+		t.Fatal("stage accessors")
+	}
+	if m.Bottom().OutputDim() != cfg.EmbDim {
+		t.Fatal("bottom output dim")
+	}
+	if m.Top().InputDim() != m.Interaction().OutputDim() {
+		t.Fatal("top input dim must match interaction output")
+	}
+}
+
+func TestEmbeddingHeavyList(t *testing.T) {
+	heavy := EmbeddingHeavy()
+	if len(heavy) != 3 {
+		t.Fatalf("embedding-heavy models = %d", len(heavy))
+	}
+	for _, c := range heavy {
+		if c.Class != "RMC2" {
+			t.Fatalf("%s is not RMC2", c.Name)
+		}
+	}
+}
+
+func TestQuantizedConfigFootprint(t *testing.T) {
+	cfg := RM2Small()
+	f32 := cfg.EmbeddingBytes()
+	cfg.EmbDType = embedding.Int8
+	i8 := cfg.EmbeddingBytes()
+	// int8 rows: 128 B + 4 B scale vs 512 B → ~3.9x smaller.
+	ratio := float64(f32) / float64(i8)
+	if ratio < 3.5 || ratio > 4.0 {
+		t.Fatalf("fp32/int8 footprint ratio = %.2f", ratio)
+	}
+}
+
+// crossModel builds a tiny DCN-v2-style model.
+func crossModel(t *testing.T, kind InteractionKind) *Model {
+	t.Helper()
+	cfg := RM2Small().Scaled(20)
+	cfg.Interaction = kind
+	m, err := New(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInteractionVariantsProduceProbabilities(t *testing.T) {
+	for _, kind := range []InteractionKind{DotInteraction, CrossInteraction, ConcatInteraction} {
+		m := crossModel(t, kind)
+		cfg := m.Config()
+		ds, err := trace.NewDataset(trace.Config{
+			Hotness: trace.MediumHot, Rows: cfg.RowsPerTable, Tables: cfg.Tables,
+			BatchSize: 3, LookupsPerSample: cfg.LookupsPerSample, Batches: 1, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds, err := m.Infer(m.DenseBatch(3, 1), func(tb int) trace.TableBatch { return ds.Batch(0, tb) })
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for i, p := range preds {
+			if p <= 0 || p >= 1 || math.IsNaN(float64(p)) {
+				t.Fatalf("%v: prediction %d = %g", kind, i, p)
+			}
+		}
+	}
+}
+
+func TestInteractionVariantsDiffer(t *testing.T) {
+	// Different interaction families must produce different predictions
+	// on the same inputs (they compute different functions).
+	cfg := RM2Small().Scaled(20)
+	ds, err := trace.NewDataset(trace.Config{
+		Hotness: trace.MediumHot, Rows: cfg.RowsPerTable, Tables: cfg.Tables,
+		BatchSize: 2, LookupsPerSample: cfg.LookupsPerSample, Batches: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := func(tb int) trace.TableBatch { return ds.Batch(0, tb) }
+	out := map[InteractionKind][]float32{}
+	for _, kind := range []InteractionKind{DotInteraction, CrossInteraction, ConcatInteraction} {
+		m := crossModel(t, kind)
+		preds, err := m.Infer(m.DenseBatch(2, 1), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[kind] = preds
+	}
+	if out[DotInteraction][0] == out[CrossInteraction][0] &&
+		out[DotInteraction][0] == out[ConcatInteraction][0] {
+		t.Fatal("all interaction families produced identical predictions")
+	}
+}
+
+func TestInteractTopValidation(t *testing.T) {
+	m := crossModel(t, DotInteraction)
+	if _, err := m.InteractTop(nil, nil); err == nil {
+		t.Fatal("accepted missing pooled tables")
+	}
+	// Pooled with too few samples for the bottom batch.
+	bottom := [][]float32{make([]float32, m.Config().EmbDim)}
+	pooled := make([][][]float32, m.Config().Tables)
+	for i := range pooled {
+		pooled[i] = nil // zero samples
+	}
+	if _, err := m.InteractTop(bottom, pooled); err == nil {
+		t.Fatal("accepted short pooled tables")
+	}
+}

@@ -1,0 +1,49 @@
+package embedding
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/trace"
+)
+
+// Bag evaluates embedding_bag numerically for one table: for each sample
+// i, the rows selected by Indices[Offsets[i]:Offsets[i+1]] are summed
+// (PyTorch's mode="sum", the DLRM default).
+//
+// out is shaped [batchSize][dim]; rows of out are reused if cap allows.
+func Bag(t *Table, tb trace.TableBatch, out [][]float32) ([][]float32, error) {
+	batch := len(tb.Offsets) - 1
+	if batch < 0 {
+		return nil, fmt.Errorf("embedding: empty offsets")
+	}
+	if cap(out) < batch {
+		out = make([][]float32, batch)
+	}
+	out = out[:batch]
+	var rowBuf []float32
+	for s := 0; s < batch; s++ {
+		if cap(out[s]) < t.dim {
+			out[s] = make([]float32, t.dim)
+		}
+		acc := out[s][:t.dim]
+		for c := range acc {
+			acc[c] = 0
+		}
+		lo, hi := tb.Offsets[s], tb.Offsets[s+1]
+		if lo > hi || int(hi) > len(tb.Indices) {
+			return nil, fmt.Errorf("embedding: offsets [%d,%d) out of range (len %d)", lo, hi, len(tb.Indices))
+		}
+		for l := lo; l < hi; l++ {
+			ix := tb.Indices[l]
+			if ix < 0 || int(ix) >= t.rows {
+				return nil, fmt.Errorf("embedding: index %d out of table (%d rows)", ix, t.rows)
+			}
+			rowBuf = t.Row(ix, rowBuf)
+			for c := range acc {
+				acc[c] += rowBuf[c]
+			}
+		}
+		out[s] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package embedding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dlrmsim/internal/cpusim"
+	"dlrmsim/internal/memsim"
+	"dlrmsim/internal/trace"
+)
+
+// TestStreamCoversExactlyTheRowsBagReads: the timing stream and the
+// numeric kernel must agree on which table rows a batch touches — every
+// row Bag sums must appear as demand line loads in the stream (all of its
+// lines), and no other table rows may be loaded.
+func TestStreamCoversExactlyTheRowsBagReads(t *testing.T) {
+	tbl := NewTable(0, 512, 128, 3)
+	f := func(rawIdx []uint16, rawOffsets []uint8) bool {
+		if len(rawIdx) == 0 {
+			return true
+		}
+		// Build a valid TableBatch from fuzz input.
+		indices := make([]int32, len(rawIdx))
+		for i, r := range rawIdx {
+			indices[i] = int32(int(r) % tbl.Rows())
+		}
+		offsets := []int32{0}
+		pos := int32(0)
+		for _, r := range rawOffsets {
+			pos += int32(r % 8)
+			if pos > int32(len(indices)) {
+				pos = int32(len(indices))
+			}
+			offsets = append(offsets, pos)
+		}
+		if offsets[len(offsets)-1] != int32(len(indices)) {
+			offsets = append(offsets, int32(len(indices)))
+		}
+		tb := trace.TableBatch{Offsets: offsets, Indices: indices}
+
+		// Rows the numeric kernel reads.
+		wantRows := map[int32]bool{}
+		for s := 0; s+1 < len(offsets); s++ {
+			for _, ix := range indices[offsets[s]:offsets[s+1]] {
+				wantRows[ix] = true
+			}
+		}
+		// Row-line loads in the stream.
+		gotLines := map[memsim.Addr]bool{}
+		stream := NewTableStream(tbl, tb, 0, StreamConfig{FlopsPerCycle: 32, BufBase: 1 << 33})
+		var op cpusim.Op
+		tblStart := tbl.RowAddr(0)
+		tblEnd := tblStart + memsim.Addr(tbl.FootprintBytes())
+		for stream.Next(&op) {
+			if op.Kind == cpusim.OpLoad && op.Addr >= tblStart && op.Addr < tblEnd {
+				gotLines[op.Addr] = true
+			}
+		}
+		// Every line of every wanted row must be loaded; nothing else.
+		wantLines := map[memsim.Addr]bool{}
+		for r := range wantRows {
+			for cb := 0; cb < tbl.RowLines(); cb++ {
+				wantLines[tbl.RowAddr(r)+memsim.Addr(cb*memsim.LineSize)] = true
+			}
+		}
+		if len(gotLines) != len(wantLines) {
+			return false
+		}
+		for a := range wantLines {
+			if !gotLines[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetchTargetsAreSubsetOfDemandRows: with Algorithm 3 (indexed
+// mode), every prefetched line belongs to a row the batch actually
+// gathers — the kernel prefetches exactly the necessary indices, the
+// paper's "what to prefetch" answer.
+func TestPrefetchTargetsAreSubsetOfDemandRows(t *testing.T) {
+	tbl := NewTable(0, 256, 128, 5)
+	tb := trace.TableBatch{
+		Offsets: []int32{0, 4, 9},
+		Indices: []int32{10, 20, 30, 40, 50, 60, 70, 80, 90},
+	}
+	rowLines := map[memsim.Addr]bool{}
+	for _, ix := range tb.Indices {
+		for cb := 0; cb < tbl.RowLines(); cb++ {
+			rowLines[tbl.RowAddr(ix)+memsim.Addr(cb*memsim.LineSize)] = true
+		}
+	}
+	s := NewTableStream(tbl, tb, 0, StreamConfig{
+		FlopsPerCycle: 32, BufBase: 1 << 33,
+		Prefetch: PrefetchConfig{Dist: 3, Blocks: 8},
+	})
+	var op cpusim.Op
+	prefetches := 0
+	for s.Next(&op) {
+		if op.Kind != cpusim.OpPrefetch {
+			continue
+		}
+		prefetches++
+		if !rowLines[op.Addr] {
+			t.Fatalf("prefetch of %#x targets a line no demand load gathers", op.Addr)
+		}
+	}
+	if prefetches == 0 {
+		t.Fatal("no prefetches emitted")
+	}
+}
+
+// TestSequentialModeMissesTheMark: the compiler-style stride guess must
+// (usually) prefetch rows the batch does NOT gather — that wrongness is
+// what Fig. 10(a) demonstrates.
+func TestSequentialModeMissesTheMark(t *testing.T) {
+	tbl := NewTable(0, 100_000, 128, 5)
+	tb := trace.TableBatch{
+		Offsets: []int32{0, 4},
+		Indices: []int32{17, 9041, 55321, 23},
+	}
+	wantRows := map[int32]bool{17: true, 9041: true, 55321: true, 23: true}
+	s := NewTableStream(tbl, tb, 0, StreamConfig{
+		FlopsPerCycle: 32, BufBase: 1 << 33,
+		Prefetch: PrefetchConfig{Dist: 1, Blocks: 1, Mode: ModeSequential},
+	})
+	var op cpusim.Op
+	wrong, total := 0, 0
+	for s.Next(&op) {
+		if op.Kind != cpusim.OpPrefetch {
+			continue
+		}
+		total++
+		row := int32((op.Addr - tbl.RowAddr(0)) / memsim.Addr(tbl.RowBytes()))
+		if !wantRows[row] {
+			wrong++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no prefetches emitted")
+	}
+	if wrong == 0 {
+		t.Fatal("stride-mode prefetching hit every row; it should be mostly wrong on scattered indices")
+	}
+}
+
+// TestBagReusesProvidedBuffers: passing a preallocated output avoids
+// reallocation (hot-path contract used by dlrm.Infer).
+func TestBagReusesProvidedBuffers(t *testing.T) {
+	tbl := NewTable(0, 100, 16, 1)
+	tb := trace.TableBatch{Offsets: []int32{0, 1}, Indices: []int32{5}}
+	out := make([][]float32, 1)
+	out[0] = make([]float32, 16)
+	got, err := Bag(tbl, tb, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0][0] != &out[0][0] {
+		t.Fatal("Bag reallocated a sufficient buffer")
+	}
+}

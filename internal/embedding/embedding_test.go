@@ -1,0 +1,226 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+
+	"dlrmsim/internal/cpusim"
+	"dlrmsim/internal/memsim"
+	"dlrmsim/internal/trace"
+)
+
+func testTable() *Table { return NewTable(0, 1000, 128, 7) }
+
+func TestTableGeometry(t *testing.T) {
+	tb := testTable()
+	if tb.RowBytes() != 512 || tb.RowLines() != 8 {
+		t.Fatalf("row bytes/lines = %d/%d", tb.RowBytes(), tb.RowLines())
+	}
+	if tb.FootprintBytes() != 1000*512 {
+		t.Fatalf("footprint = %d", tb.FootprintBytes())
+	}
+}
+
+func TestTableAddressesDisjoint(t *testing.T) {
+	t0 := NewTable(0, 1000, 128, 7)
+	t1 := NewTable(1, 1000, 128, 7)
+	end0 := t0.RowAddr(999) + memsim.Addr(t0.RowBytes())
+	if t1.RowAddr(0) < end0 {
+		t.Fatalf("tables overlap: t0 ends %#x, t1 starts %#x", end0, t1.RowAddr(0))
+	}
+}
+
+func TestTableValuesDeterministic(t *testing.T) {
+	a, b := testTable(), testTable()
+	for r := int32(0); r < 5; r++ {
+		for c := 0; c < 128; c++ {
+			if a.At(r, c) != b.At(r, c) {
+				t.Fatalf("value (%d,%d) differs", r, c)
+			}
+		}
+	}
+	if a.At(0, 0) == a.At(1, 0) && a.At(0, 1) == a.At(1, 1) && a.At(0, 2) == a.At(1, 2) {
+		t.Fatal("rows 0 and 1 look identical")
+	}
+}
+
+func TestTableValuesBounded(t *testing.T) {
+	tb := testTable()
+	for r := int32(0); r < 100; r++ {
+		for c := 0; c < 128; c++ {
+			v := tb.At(r, c)
+			if v < -0.05 || v >= 0.05 {
+				t.Fatalf("value (%d,%d) = %g out of range", r, c, v)
+			}
+		}
+	}
+}
+
+func TestBagSumsRows(t *testing.T) {
+	tb := testTable()
+	in := trace.TableBatch{
+		Offsets: []int32{0, 2, 3},
+		Indices: []int32{5, 9, 5},
+	}
+	out, err := Bag(tb, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("batch out = %d", len(out))
+	}
+	for c := 0; c < 128; c++ {
+		want := tb.At(5, c) + tb.At(9, c)
+		if math.Abs(float64(out[0][c]-want)) > 1e-6 {
+			t.Fatalf("sample 0 col %d: %g want %g", c, out[0][c], want)
+		}
+		if out[1][c] != tb.At(5, c) {
+			t.Fatalf("sample 1 col %d: %g want %g", c, out[1][c], tb.At(5, c))
+		}
+	}
+}
+
+func TestBagEmptySample(t *testing.T) {
+	tb := testTable()
+	in := trace.TableBatch{Offsets: []int32{0, 0, 1}, Indices: []int32{3}}
+	out, err := Bag(tb, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range out[0] {
+		if out[0][c] != 0 {
+			t.Fatal("empty sample should pool to zero")
+		}
+	}
+}
+
+func TestBagRejectsBadIndices(t *testing.T) {
+	tb := testTable()
+	if _, err := Bag(tb, trace.TableBatch{Offsets: []int32{0, 1}, Indices: []int32{5000}}, nil); err == nil {
+		t.Fatal("accepted out-of-range index")
+	}
+	if _, err := Bag(tb, trace.TableBatch{Offsets: []int32{0, 5}, Indices: []int32{1}}, nil); err == nil {
+		t.Fatal("accepted out-of-range offsets")
+	}
+}
+
+func smallBatch() trace.TableBatch {
+	return trace.TableBatch{
+		Offsets: []int32{0, 3, 6},
+		Indices: []int32{1, 2, 3, 4, 5, 6},
+	}
+}
+
+func streamCfg(pf PrefetchConfig) StreamConfig {
+	return StreamConfig{Prefetch: pf, FlopsPerCycle: 32, BufBase: 1 << 33}
+}
+
+func TestTableStreamOpCountsNoPrefetch(t *testing.T) {
+	tb := testTable()
+	s := NewTableStream(tb, smallBatch(), 0, streamCfg(PrefetchConfig{}))
+	counts := cpusim.CountOps(s)
+	// Per lookup: 8 row-line loads + 8 accumulator loads (Algorithm 1's
+	// vec.ld accm); plus 1 index-array load per sample (3 lookups < 16)
+	// and 1 offsets load per sample.
+	wantLoads := int64(6*(8+8) + 2 + 2)
+	if counts[cpusim.OpLoad] != wantLoads {
+		t.Fatalf("loads = %d, want %d", counts[cpusim.OpLoad], wantLoads)
+	}
+	if counts[cpusim.OpPrefetch] != 0 {
+		t.Fatalf("prefetches = %d, want 0", counts[cpusim.OpPrefetch])
+	}
+	// Algorithm 1's vec.st accm: 8 stores per lookup.
+	if counts[cpusim.OpStore] != 6*8 {
+		t.Fatalf("stores = %d, want 48", counts[cpusim.OpStore])
+	}
+}
+
+func TestTableStreamPrefetchCount(t *testing.T) {
+	tb := testTable()
+	s := NewTableStream(tb, smallBatch(), 0, streamCfg(PrefetchConfig{Dist: 2, Blocks: 8}))
+	counts := cpusim.CountOps(s)
+	// Look-ahead runs array-wide: lookups 0..3 have an in-range target
+	// (l+2 < 6), lookups 4 and 5 do not. 4 lookups × 8 blocks.
+	if counts[cpusim.OpPrefetch] != 32 {
+		t.Fatalf("prefetches = %d, want 32", counts[cpusim.OpPrefetch])
+	}
+}
+
+func TestTableStreamPrefetchBlocksKnob(t *testing.T) {
+	tb := testTable()
+	s := NewTableStream(tb, smallBatch(), 0, streamCfg(PrefetchConfig{Dist: 2, Blocks: 2}))
+	counts := cpusim.CountOps(s)
+	if counts[cpusim.OpPrefetch] != 8 { // 4 in-range lookups × 2 blocks
+		t.Fatalf("prefetches = %d, want 8", counts[cpusim.OpPrefetch])
+	}
+}
+
+func TestTableStreamPrefetchTargetsFutureRow(t *testing.T) {
+	tb := testTable()
+	s := NewTableStream(tb, smallBatch(), 0, streamCfg(PrefetchConfig{Dist: 1, Blocks: 1}))
+	var op cpusim.Op
+	var firstPrefetch, firstRowLoad memsim.Addr
+	for s.Next(&op) {
+		if op.Kind == cpusim.OpPrefetch && firstPrefetch == 0 {
+			firstPrefetch = op.Addr
+		}
+		if op.Kind == cpusim.OpLoad && op.Addr >= tb.RowAddr(0) && firstRowLoad == 0 {
+			firstRowLoad = op.Addr
+		}
+	}
+	// First prefetch targets row Indices[1]=2; first row load is row 1.
+	if firstPrefetch != tb.RowAddr(2) {
+		t.Fatalf("first prefetch %#x, want row 2 at %#x", firstPrefetch, tb.RowAddr(2))
+	}
+	if firstRowLoad != tb.RowAddr(1) {
+		t.Fatalf("first row load %#x, want row 1 at %#x", firstRowLoad, tb.RowAddr(1))
+	}
+}
+
+func TestStageStreamCoversAllTables(t *testing.T) {
+	tables := []*Table{NewTable(0, 100, 64, 1), NewTable(1, 100, 64, 1)}
+	in := trace.TableBatch{Offsets: []int32{0, 2}, Indices: []int32{1, 2}}
+	s := NewStageStream(tables, func(int) trace.TableBatch { return in }, streamCfg(PrefetchConfig{}))
+	var op cpusim.Op
+	seen := map[int]bool{}
+	for s.Next(&op) {
+		if op.Kind != cpusim.OpLoad {
+			continue
+		}
+		for i, tb := range tables {
+			if op.Addr >= tb.RowAddr(0) && op.Addr < tb.RowAddr(0)+memsim.Addr(tb.FootprintBytes()) {
+				seen[i] = true
+			}
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("stage stream missed tables: %v", seen)
+	}
+}
+
+func TestStreamTimingPrefetchSpeedsUpColdScan(t *testing.T) {
+	// End-to-end through the core model: a low-locality batch should run
+	// faster with Algorithm 3 prefetching than without.
+	tb := NewTable(0, 100_000, 128, 3)
+	// 2 samples × 64 unique lookups each.
+	in := trace.TableBatch{Offsets: []int32{0, 64, 128}}
+	for i := int32(0); i < 128; i++ {
+		in.Indices = append(in.Indices, i*701%100_000)
+	}
+	mp := memsim.MemParams{
+		L1:   memsim.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LatencyCyc: 5},
+		L2:   memsim.CacheConfig{Name: "L2", SizeBytes: 1 << 20, Ways: 16, LatencyCyc: 14},
+		L3:   memsim.CacheConfig{Name: "L3", SizeBytes: 8 << 20, Ways: 11, LatencyCyc: 50},
+		DRAM: memsim.DRAMConfig{BaseLatencyCyc: 200, PeakBandwidthBytesPerCyc: 58},
+	}
+	cp := cpusim.CoreParams{IssueWidth: 4, WindowSize: 224, DemandMLP: 6, FillBuffers: 12, PipelinedLatency: 14}
+	run := func(pf PrefetchConfig) float64 {
+		core := cpusim.NewCore(cp, memsim.NewHierarchy(mp, memsim.NewShared(mp)))
+		return core.Run(NewTableStream(tb, in, 0, streamCfg(pf))).Cycles
+	}
+	base := run(PrefetchConfig{})
+	swpf := run(PrefetchConfig{Dist: 4, Blocks: 8})
+	if swpf >= base {
+		t.Fatalf("prefetching did not speed up: base=%g swpf=%g", base, swpf)
+	}
+}

@@ -1,0 +1,251 @@
+package embedding
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/cpusim"
+	"dlrmsim/internal/memsim"
+	"dlrmsim/internal/trace"
+)
+
+// PrefetchMode selects how the prefetch target address is computed.
+type PrefetchMode int
+
+const (
+	// ModeIndexed is Algorithm 3: the future target is read from the
+	// indices array (exact indirect prefetching).
+	ModeIndexed PrefetchMode = iota
+	// ModeSequential models compiler-inserted stride prefetching
+	// (gcc -fprefetch-loop-arrays): the "predicted" next row is the one
+	// sequentially after the current row — almost always wrong for
+	// embedding lookups, reproducing Fig. 10(a)'s null result.
+	ModeSequential
+)
+
+// PrefetchConfig is the paper's Algorithm 3 knob set.
+type PrefetchConfig struct {
+	// Dist is the look-ahead distance in lookups (pf_dist); 0 disables
+	// software prefetching. The paper finds 4 optimal on Cascade Lake.
+	Dist int
+	// Blocks is how many cache lines of the future row to prefetch
+	// (pf_blocks); 0 means the whole row. The paper finds the whole row
+	// (8 lines at dim 128) optimal on Cascade Lake, 2 on wider-window
+	// parts.
+	Blocks int
+	// Hint selects the target cache level; the zero value means L1
+	// (_MM_HINT_T0), the paper's choice.
+	Hint memsim.AccessKind
+	// Mode selects exact indirect prefetching (the default, Algorithm 3)
+	// or the compiler-style sequential guess.
+	Mode PrefetchMode
+}
+
+// Enabled reports whether prefetching is active.
+func (p PrefetchConfig) Enabled() bool { return p.Dist > 0 }
+
+// StreamConfig configures instruction-stream generation for the
+// embedding stage.
+type StreamConfig struct {
+	// Prefetch inserts Algorithm 3 software prefetches when enabled.
+	Prefetch PrefetchConfig
+	// FlopsPerCycle converts the kernel's vector-add FLOPs into compute
+	// cycles (platform-dependent; e.g. ~32 effective f32 FLOPs/cycle
+	// with AVX-512).
+	FlopsPerCycle float64
+	// BufBase is the base address of this batch's private buffers
+	// (offsets, indices, outputs). Each in-flight batch needs a disjoint
+	// region.
+	BufBase memsim.Addr
+}
+
+// Buffer layout within a batch's private region.
+const (
+	offsetsOff = 0
+	indicesOff = 64 << 10 // offsets are tiny; indices start at 64 KiB
+	outputOff  = 16 << 20 // per-table outputs start at 16 MiB
+)
+
+// bagStream generates the instruction stream of embedding_bag over one
+// table (Algorithm 2, plus Algorithm 3 when prefetching is on).
+type bagStream struct {
+	t   *Table
+	tb  trace.TableBatch
+	cfg StreamConfig
+
+	outBase  memsim.Addr
+	addCost  float64 // compute cycles per row line (16 f32 adds)
+	pfBlocks int
+
+	sample int
+	lookup int32 // absolute position in tb.Indices
+	queue  []cpusim.Op
+	qpos   int
+}
+
+// newBagStream builds the per-table kernel stream. tableSlot is the
+// table's position within the stage (used to place its output buffer).
+func newBagStream(t *Table, tb trace.TableBatch, tableSlot int, cfg StreamConfig) *bagStream {
+	if cfg.FlopsPerCycle <= 0 {
+		panic(fmt.Sprintf("embedding: FlopsPerCycle %g", cfg.FlopsPerCycle))
+	}
+	pfBlocks := cfg.Prefetch.Blocks
+	if pfBlocks <= 0 || pfBlocks > t.RowLines() {
+		pfBlocks = t.RowLines()
+	}
+	// Accumulation cost per row line: one FLOP per element for fp32
+	// adds, two for quantized rows (dequantize multiply + add).
+	flopsPerElem := 1.0
+	if t.DType() != F32 {
+		flopsPerElem = 2
+	}
+	elemsPerLine := float64(memsim.LineSize / t.DType().ElemBytes())
+	batch := len(tb.Offsets) - 1
+	return &bagStream{
+		t:        t,
+		tb:       tb,
+		cfg:      cfg,
+		outBase:  cfg.BufBase + outputOff + memsim.Addr(tableSlot*batch*t.Dim()*4),
+		addCost:  elemsPerLine * flopsPerElem / cfg.FlopsPerCycle,
+		pfBlocks: pfBlocks,
+	}
+}
+
+// Next implements cpusim.Stream.
+func (s *bagStream) Next(op *cpusim.Op) bool {
+	for s.qpos >= len(s.queue) {
+		if !s.refill() {
+			return false
+		}
+	}
+	*op = s.queue[s.qpos]
+	s.qpos++
+	return true
+}
+
+// refill enqueues the ops for the next unit of work: a sample prologue,
+// one lookup, or a sample epilogue.
+func (s *bagStream) refill() bool {
+	batch := len(s.tb.Offsets) - 1
+	if s.sample >= batch {
+		return false
+	}
+	s.queue = s.queue[:0]
+	s.qpos = 0
+
+	lo, hi := s.tb.Offsets[s.sample], s.tb.Offsets[s.sample+1]
+	if s.lookup < lo {
+		s.lookup = lo
+	}
+	if s.lookup == lo {
+		// Sample prologue: read the offsets pair, zero the accumulator.
+		s.queue = append(s.queue,
+			cpusim.Op{Kind: cpusim.OpLoad, Addr: s.cfg.BufBase + offsetsOff + memsim.Addr(s.sample*4)},
+			cpusim.Op{Kind: cpusim.OpCompute, Cost: float64(s.t.RowLines()) * s.addCost / 2},
+		)
+	}
+	if s.lookup >= hi {
+		s.sample++
+		return len(s.queue) > 0 || s.sample < batch
+	}
+
+	l := s.lookup
+	// One index-array line covers 16 int32 indices.
+	if (l-lo)%16 == 0 {
+		s.queue = append(s.queue, cpusim.Op{Kind: cpusim.OpLoad, Addr: s.cfg.BufBase + indicesOff + memsim.Addr(l*4)})
+	}
+	// Algorithm 3: prefetch pf_blocks lines of the row pf_dist lookups
+	// ahead (array-wide look-ahead, clamped at the batch end).
+	if pf := s.cfg.Prefetch; pf.Enabled() {
+		if ahead := l + int32(pf.Dist); int(ahead) < len(s.tb.Indices) {
+			hint := pf.Hint
+			if !hint.IsPrefetch() {
+				hint = memsim.KindPrefetchL1
+			}
+			var rowAddr memsim.Addr
+			if pf.Mode == ModeSequential {
+				// Compiler stride guess: the row after the current one.
+				next := s.tb.Indices[l] + int32(pf.Dist)
+				if int(next) >= s.t.Rows() {
+					next = s.tb.Indices[l]
+				}
+				rowAddr = s.t.RowAddr(next)
+			} else {
+				rowAddr = s.t.RowAddr(s.tb.Indices[ahead])
+			}
+			for cb := 0; cb < s.pfBlocks; cb++ {
+				s.queue = append(s.queue, cpusim.Op{
+					Kind: cpusim.OpPrefetch,
+					Addr: rowAddr + memsim.Addr(cb*memsim.LineSize),
+					Hint: hint,
+				})
+			}
+		}
+	}
+	// Demand gather, per Algorithm 1's inner loop: load the row's
+	// storage lines, then for each line of the fp32 accumulator (the
+	// sample's output row — an L1 hit after the first touch) load, add,
+	// and store back. For quantized tables the storage rows span fewer
+	// lines than the fp32 accumulator.
+	rowAddr := s.t.RowAddr(s.tb.Indices[l])
+	outBytes := s.t.Dim() * 4
+	outLines := (outBytes + memsim.LineSize - 1) / memsim.LineSize
+	accAddr := s.outBase + memsim.Addr(s.sample*outBytes)
+	for cb := 0; cb < s.t.RowLines(); cb++ {
+		s.queue = append(s.queue, cpusim.Op{Kind: cpusim.OpLoad, Addr: rowAddr + memsim.Addr(cb*memsim.LineSize)})
+	}
+	accCost := s.addCost * float64(s.t.RowLines()) / float64(outLines)
+	for ob := 0; ob < outLines; ob++ {
+		off := memsim.Addr(ob * memsim.LineSize)
+		s.queue = append(s.queue,
+			cpusim.Op{Kind: cpusim.OpLoad, Addr: accAddr + off},
+			cpusim.Op{Kind: cpusim.OpCompute, Cost: accCost},
+			cpusim.Op{Kind: cpusim.OpStore, Addr: accAddr + off},
+		)
+	}
+	s.lookup++
+	return true
+}
+
+// NewTableStream returns the instruction stream for embedding_bag over
+// one table and one batch of inputs.
+func NewTableStream(t *Table, tb trace.TableBatch, tableSlot int, cfg StreamConfig) cpusim.Stream {
+	return newBagStream(t, tb, tableSlot, cfg)
+}
+
+// BatchSource supplies the embedding_bag inputs for each table of one
+// batch (typically a closure over trace.Dataset.Batch).
+type BatchSource func(tableID int) trace.TableBatch
+
+// stageStream chains the per-table kernels of a whole embedding stage,
+// generating each table's inputs lazily.
+type stageStream struct {
+	tables []*Table
+	src    BatchSource
+	cfg    StreamConfig
+	idx    int
+	cur    cpusim.Stream
+}
+
+// NewStageStream returns the instruction stream of the full embedding
+// stage for one batch: tables processed in order, per Algorithm 1.
+func NewStageStream(tables []*Table, src BatchSource, cfg StreamConfig) cpusim.Stream {
+	return &stageStream{tables: tables, src: src, cfg: cfg}
+}
+
+// Next implements cpusim.Stream.
+func (s *stageStream) Next(op *cpusim.Op) bool {
+	for {
+		if s.cur == nil {
+			if s.idx >= len(s.tables) {
+				return false
+			}
+			t := s.tables[s.idx]
+			s.cur = newBagStream(t, s.src(t.ID()), s.idx, s.cfg)
+		}
+		if s.cur.Next(op) {
+			return true
+		}
+		s.cur = nil
+		s.idx++
+	}
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"dlrmsim/internal/core"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/platform"
+	"dlrmsim/internal/serve"
+	"dlrmsim/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "ext8", Title: "SLA-aware batch-size selection (Table 1's batch-64 rationale)", Run: runExt8})
+}
+
+// runExt8 closes the loop on the paper's batch-size choice: Table 1 says
+// batch 64 "maximizes throughput while meeting the SLA". We fit the
+// affine batch-service model from the timing simulator (two batch sizes
+// suffice: ext2 shows latency is affine in batch size), then sweep the
+// batcher's MaxBatch under query-level Poisson load and report
+// throughput and p95 per candidate, with the SLA-compliant best marked.
+func runExt8(x *Context) (*Table, error) {
+	t := &Table{
+		ID: "ext8", Title: "Dynamic batching under SLA (rm2_1, Medium Hot, Integrated design)",
+		Headers: []string{"max batch", "mean batch", "p95 (ms)", "throughput (QPS)", "SLA ok"},
+	}
+	model := x.Cfg.model(dlrm.RM2Small())
+	cores := x.Cfg.multiCores(platform.CascadeLake())
+	// Fit serviceMs(batch) = base + slope×batch from two simulator runs.
+	fit := func(bs int) (core.Report, error) {
+		return x.Run(core.Options{
+			Model: model, Hotness: trace.MediumHot, Scheme: core.Integrated,
+			Cores: cores, BatchSize: bs,
+		})
+	}
+	small, err := fit(16)
+	if err != nil {
+		return nil, err
+	}
+	large, err := fit(64)
+	if err != nil {
+		return nil, err
+	}
+	slope := (large.BatchLatencyMs - small.BatchLatencyMs) / (64 - 16)
+	base := small.BatchLatencyMs - 16*slope
+	if base < 0 {
+		base = 0
+	}
+	// The kernel simulator has almost no per-batch fixed cost, but a real
+	// serving stack does (framework dispatch, operator setup — the reason
+	// tiny batches waste throughput in production). Model it as 25% of
+	// the 64-batch service time, a PyTorch-serving ballpark.
+	dispatch := 0.25 * large.BatchLatencyMs
+	base += dispatch
+
+	// Query load sized to ~85% of the 64-batch capacity (batching policy
+	// matters most near saturation); SLA scaled like fig17 (4x the
+	// 64-batch latency) so the boundary is inside the sweep.
+	arrival := (base + slope*64) / 64 / float64(cores) / 0.85
+	sla := 4 * large.BatchLatencyMs
+	cfg := serve.BatchingConfig{
+		Cores:             cores,
+		MeanArrivalMs:     arrival,
+		MaxWaitMs:         sla / 4,
+		ServiceBaseMs:     base,
+		ServicePerQueryMs: slope,
+		Queries:           20000,
+		Seed:              x.Cfg.Seed,
+	}
+	candidates := []int{8, 16, 32, 64, 128, 256}
+	best, points, ok := serve.BestBatchSize(cfg, candidates, sla)
+	keys := make([]int, 0, len(points))
+	for b := range points {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	for _, b := range keys {
+		r := points[b]
+		mark := ""
+		if r.P95 <= sla {
+			mark = "yes"
+			if ok && b == best {
+				mark = "yes (best)"
+			}
+		} else {
+			mark = "no"
+		}
+		t.AddRow(fmt.Sprintf("%d", b), f1(r.MeanBatchSize), f2(r.P95),
+			f1(r.ThroughputQPS), mark)
+	}
+	t.AddNote("service model: %.3f + %.4f×batch ms (kernel fit plus 25%% per-batch dispatch overhead); SLA=%.2f ms (4x the 64-batch latency at this scale); the paper fixes batch 64 by the same throughput-under-SLA criterion", base, slope, sla)
+	return t, nil
+}

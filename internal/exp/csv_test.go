@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestRenderCSV(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "t",
+		Headers: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "two, with comma")
+	tbl.AddRow("3", "4")
+	tbl.AddNote("a note")
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	r.FieldsPerRecord = -1 // note rows are shorter than data rows
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != 4 { // header + 2 rows + note
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "experiment" || records[0][1] != "a" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][2] != "two, with comma" {
+		t.Fatalf("comma cell mangled: %v", records[1])
+	}
+	if !strings.HasPrefix(records[3][1], "# ") {
+		t.Fatalf("note row = %v", records[3])
+	}
+}
+
+func TestRenderCSVEmptyTable(t *testing.T) {
+	tbl := &Table{ID: "y", Headers: []string{"h"}}
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "experiment,h" {
+		t.Fatalf("empty table CSV = %q", got)
+	}
+}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyContext returns a context small enough that every experiment runs in
+// a few seconds: scale-down 20, 2 cores, batch 8.
+func tinyContext() *Context {
+	return NewContext(Config{
+		Scale:               20,
+		BatchSize:           8,
+		Batches:             1,
+		Cores:               2,
+		Seed:                1,
+		BandwidthIterations: 2,
+	})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig4", "fig5", "fig7", "fig8",
+		"fig10a", "fig10b", "fig10c",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab4",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("fig99"); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	x := tinyContext()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := e.Run(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) && tbl.ID != "fig17" {
+					t.Fatalf("row width %d != header width %d: %v", len(row), len(tbl.Headers), row)
+				}
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), tbl.ID) {
+				t.Fatal("render missing ID")
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Headers: []string{"a", "long-header"}}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("n=%d", 5)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "long-header", "note: n=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContextMemoization(t *testing.T) {
+	x := tinyContext()
+	e, err := Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(x); err != nil {
+		t.Fatal(err)
+	}
+	n := len(x.memo)
+	if n == 0 {
+		t.Fatal("no memo entries after a run")
+	}
+	if _, err := e.Run(x); err != nil {
+		t.Fatal(err)
+	}
+	if len(x.memo) != n {
+		t.Fatalf("second run added memo entries: %d → %d", n, len(x.memo))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 8 || c.BatchSize != 64 || c.Batches != 1 || c.Seed != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"dlrmsim/internal/core"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/embedding"
+	"dlrmsim/internal/platform"
+	"dlrmsim/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "ext5", Title: "Quantized embeddings: fp32/fp16/int8 vs the designs (extension)", Run: runExt5})
+}
+
+// runExt5 examines how embedding quantization — the other standard
+// production lever against memory pressure — interacts with the paper's
+// designs. Smaller rows span fewer cache lines, cutting both bandwidth
+// and the per-lookup miss count, which shrinks the headroom software
+// prefetching has left to exploit.
+func runExt5(x *Context) (*Table, error) {
+	t := &Table{
+		ID: "ext5", Title: "Embedding dtype vs designs (rm2_1, Low Hot, multi-core)",
+		Headers: []string{"dtype", "row lines", "baseline (ms)", "SW-PF", "Integrated", "DRAM MB/batch"},
+	}
+	cores := x.Cfg.multiCores(platform.CascadeLake())
+	for _, d := range []embedding.DType{embedding.F32, embedding.F16, embedding.Int8} {
+		model := x.Cfg.model(dlrm.RM2Small())
+		model.EmbDType = d
+		rowLines := embedding.NewTypedTable(0, 1, model.EmbDim, 0, d).RowLines()
+		base, err := x.Run(core.Options{
+			Model: model, Hotness: trace.LowHot, Scheme: core.Baseline, Cores: cores,
+		})
+		if err != nil {
+			return nil, err
+		}
+		swpf, err := x.Run(core.Options{
+			Model: model, Hotness: trace.LowHot, Scheme: core.SWPF, Cores: cores,
+		})
+		if err != nil {
+			return nil, err
+		}
+		integ, err := x.Run(core.Options{
+			Model: model, Hotness: trace.LowHot, Scheme: core.Integrated, Cores: cores,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d.String(), f1(float64(rowLines)), f2(base.BatchLatencyMs),
+			spd(swpf.Speedup(base)), spd(integ.Speedup(base)),
+			f1(float64(base.DRAMBytes)/1e6/float64(cores)))
+		_ = rowLines
+	}
+	t.AddNote("quantization attacks the same bottleneck from the data side: smaller rows mean fewer misses per lookup, so baselines speed up and prefetching's relative win narrows but persists")
+	return t, nil
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These tests assert the qualitative SHAPES of the paper's results at a
+// tiny scale — who wins, orderings, monotone trends — the reproduction
+// contract recorded in EXPERIMENTS.md.
+
+func cell(t *testing.T, tbl *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d)", tbl.ID, row, col)
+	}
+	return tbl.Rows[row][col]
+}
+
+func parseSpeedup(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q: %v", s, err)
+	}
+	return v
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent cell %q: %v", s, err)
+	}
+	return v
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float cell %q: %v", s, err)
+	}
+	return v
+}
+
+func runTable(t *testing.T, x *Context, id string) *Table {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestFig4ShapeLatencyDegradesWithHotness(t *testing.T) {
+	tbl := runTable(t, tinyContext(), "fig4")
+	// Rows: one-item, High, Medium, Low, random; col 1 = latency (ms).
+	var prev float64 = -1
+	for r := 0; r < len(tbl.Rows); r++ {
+		lat := parseF(t, cell(t, tbl, r, 1))
+		if lat < prev*0.9 { // allow 10% noise between adjacent classes
+			t.Fatalf("row %d latency %.3f breaks monotone degradation (prev %.3f)", r, lat, prev)
+		}
+		if lat > prev {
+			prev = lat
+		}
+	}
+	// one-item must be far faster than random.
+	first := parseF(t, cell(t, tbl, 0, 1))
+	last := parseF(t, cell(t, tbl, len(tbl.Rows)-1, 1))
+	if last < 4*first {
+		t.Fatalf("one-item (%.3f) vs random (%.3f): gap too small", first, last)
+	}
+}
+
+func TestFig8ShapeBandwidthScales(t *testing.T) {
+	tbl := runTable(t, tinyContext(), "fig8")
+	if len(tbl.Rows) < 2 {
+		t.Fatal("need at least 2 core counts")
+	}
+	bw1 := parseF(t, cell(t, tbl, 0, 2))
+	bwN := parseF(t, cell(t, tbl, len(tbl.Rows)-1, 2))
+	if bwN <= bw1 {
+		t.Fatalf("bandwidth did not scale: %.2f -> %.2f GB/s", bw1, bwN)
+	}
+}
+
+func TestFig10cShapeHitRateMonotoneInBlocks(t *testing.T) {
+	tbl := runTable(t, tinyContext(), "fig10c")
+	// Rows 1.. are blocks 1,2,4,8; col 1 = L1D hit.
+	prev := -1.0
+	for r := 1; r < len(tbl.Rows); r++ {
+		hit := parsePct(t, cell(t, tbl, r, 1))
+		if hit < prev-1 {
+			t.Fatalf("L1D hit rate fell with more prefetched blocks: row %d %.1f%% < %.1f%%", r, hit, prev)
+		}
+		prev = hit
+	}
+	// Full-row prefetch must clearly beat the baseline's hit rate.
+	base := parsePct(t, cell(t, tbl, 0, 1))
+	full := parsePct(t, cell(t, tbl, len(tbl.Rows)-1, 1))
+	if full < base+10 {
+		t.Fatalf("full-row prefetch hit %.1f%% not clearly above baseline %.1f%%", full, base)
+	}
+}
+
+func TestFig12ShapeSWPFWins(t *testing.T) {
+	tbl := runTable(t, tinyContext(), "fig12")
+	for _, row := range tbl.Rows {
+		swpf := parseSpeedup(t, row[4])
+		if swpf < 1.05 {
+			t.Errorf("%v: SW-PF speedup %.2f < 1.05", row[:3], swpf)
+		}
+		if swpf > 2.2 {
+			t.Errorf("%v: SW-PF speedup %.2f implausible", row[:3], swpf)
+		}
+	}
+}
+
+func TestFig13ShapeSchemeOrdering(t *testing.T) {
+	tbl := runTable(t, tinyContext(), "fig13")
+	for _, row := range tbl.Rows {
+		swpf := parseSpeedup(t, row[4])
+		dpht := parseSpeedup(t, row[5])
+		integ := parseSpeedup(t, row[7])
+		if dpht >= 1.0 {
+			t.Errorf("%v: DP-HT %.2f should lose to baseline", row[:3], dpht)
+		}
+		if integ < swpf-0.02 {
+			t.Errorf("%v: Integrated %.2f below SW-PF %.2f", row[:3], integ, swpf)
+		}
+	}
+}
+
+func TestFig15ShapeSWPFLiftsHitRate(t *testing.T) {
+	tbl := runTable(t, tinyContext(), "fig15")
+	// Rows come in triples: baseline, SW-PF, Integrated per model.
+	for r := 0; r+2 < len(tbl.Rows); r += 3 {
+		base := parsePct(t, cell(t, tbl, r, 2))
+		swpf := parsePct(t, cell(t, tbl, r+1, 2))
+		if swpf <= base {
+			t.Errorf("%s: SW-PF hit %.1f%% <= baseline %.1f%%", cell(t, tbl, r, 0), swpf, base)
+		}
+		baseLat := parseF(t, cell(t, tbl, r, 3))
+		swpfLat := parseF(t, cell(t, tbl, r+1, 3))
+		if swpfLat >= baseLat {
+			t.Errorf("%s: SW-PF load latency %.1f >= baseline %.1f", cell(t, tbl, r, 0), swpfLat, baseLat)
+		}
+	}
+}
+
+func TestExt1ShapeT0Best(t *testing.T) {
+	tbl := runTable(t, tinyContext(), "ext1")
+	// Rows: baseline, T0, T1, T2; col 1 = latency.
+	t0 := parseF(t, cell(t, tbl, 1, 1))
+	t1 := parseF(t, cell(t, tbl, 2, 1))
+	t2 := parseF(t, cell(t, tbl, 3, 1))
+	if !(t0 <= t1+1e-9 && t1 <= t2+1e-9) {
+		t.Fatalf("hint ordering broken: T0=%.3f T1=%.3f T2=%.3f", t0, t1, t2)
+	}
+}

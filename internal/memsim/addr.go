@@ -1,0 +1,94 @@
+// Package memsim models a CPU memory hierarchy — set-associative LRU
+// caches, hardware prefetchers, and a bandwidth-aware DRAM — at cache-line
+// granularity. It is functional *and* timed: every line carries the cycle at
+// which its fill completes, so a demand load that arrives while a prefetch
+// is still in flight observes the residual latency, exactly the effect the
+// paper's software-prefetch timeliness study (Fig. 10b) depends on.
+//
+// The package is deliberately single-threaded: multi-core interleaving is
+// orchestrated by package cpusim, which advances per-core streams in
+// simulated time and shares one Hierarchy's L3/DRAM among cores.
+package memsim
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// LineSize is the cache line size in bytes. All modeled platforms use 64.
+const LineSize = 64
+
+// LineAddr returns the line-aligned address containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level int
+
+// Hierarchy levels, ordered nearest-first.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelDRAM
+	numLevels
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1D"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return "invalid"
+	}
+}
+
+// AccessKind distinguishes demand traffic from prefetch traffic.
+type AccessKind int
+
+// Access kinds. Prefetches specify the level the line should land in,
+// mirroring _MM_HINT_T0/T1/T2.
+const (
+	KindLoad AccessKind = iota
+	KindStore
+	KindPrefetchL1 // _MM_HINT_T0
+	KindPrefetchL2 // _MM_HINT_T1
+	KindPrefetchL3 // _MM_HINT_T2
+)
+
+// IsPrefetch reports whether the kind is any prefetch hint.
+func (k AccessKind) IsPrefetch() bool { return k >= KindPrefetchL1 }
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindPrefetchL1:
+		return "prefetch.t0"
+	case KindPrefetchL2:
+		return "prefetch.t1"
+	case KindPrefetchL3:
+		return "prefetch.t2"
+	default:
+		return "invalid"
+	}
+}
+
+// AccessResult reports where an access hit and what it cost.
+type AccessResult struct {
+	// Level is the hierarchy level that supplied the data.
+	Level Level
+	// Latency is the access cost in core cycles, including any residual
+	// wait on an in-flight fill.
+	Latency int64
+	// InFlightHit is true when the line was found still being filled
+	// (e.g. a demand load caught up with its prefetch).
+	InFlightHit bool
+}

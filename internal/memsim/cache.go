@@ -1,0 +1,190 @@
+package memsim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// line is one cache line's metadata. Recency is tracked with a per-cache
+// monotonic counter rather than physical ordering, so hits don't shuffle
+// memory.
+type line struct {
+	tag      uint64
+	readyAt  int64 // cycle at which the fill completes
+	used     int64 // recency stamp; larger = more recent
+	valid    bool
+	prefetch bool // filled by a prefetch and not yet demand-touched
+}
+
+// CacheConfig describes one cache level's geometry and hit latency.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int64
+	Ways       int
+	LatencyCyc int64 // access (hit) latency in cycles
+}
+
+// Cache is a set-associative cache with true-LRU replacement. The zero
+// value is not usable; construct with NewCache.
+type Cache struct {
+	cfg      CacheConfig
+	lines    []line // sets × ways, flattened
+	ways     int
+	setMask  uint64
+	setShift uint
+	clock    int64
+
+	// Stats accumulates hit/miss counters for this level.
+	Stats CacheStats
+}
+
+// CacheStats counts the traffic observed by one cache level.
+type CacheStats struct {
+	DemandHits     uint64 // demand accesses that hit
+	DemandMisses   uint64 // demand accesses that missed
+	PrefetchFills  uint64 // lines installed by prefetch requests
+	PrefetchHits   uint64 // demand hits on lines a prefetch installed
+	InFlightHits   uint64 // demand hits that waited on an in-flight fill
+	Evictions      uint64 // valid lines displaced
+	UselessPrefILL uint64 // prefetched lines evicted before any demand touch
+}
+
+// HitRate returns demand hits / demand accesses (0 when idle).
+func (s CacheStats) HitRate() float64 {
+	total := s.DemandHits + s.DemandMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DemandHits) / float64(total)
+}
+
+// NewCache builds a cache from cfg. Sets = size / (line * ways), rounded
+// down to a power of two so set indexing is a mask (real L3 slices aren't
+// power-of-two sized; the rounding costs <2% capacity). It panics on
+// nonsensical configs, which indicate programmer error.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("memsim: invalid cache config %+v", cfg))
+	}
+	numSets := cfg.SizeBytes / (LineSize * int64(cfg.Ways))
+	if numSets < 1 {
+		numSets = 1
+	}
+	numSets = 1 << (bits.Len64(uint64(numSets)) - 1)
+	return &Cache{
+		cfg:      cfg,
+		lines:    make([]line, numSets*int64(cfg.Ways)),
+		ways:     cfg.Ways,
+		setMask:  uint64(numSets - 1),
+		setShift: uint(bits.TrailingZeros64(LineSize)),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// NumSets returns the number of sets after power-of-two rounding.
+func (c *Cache) NumSets() int { return len(c.lines) / c.ways }
+
+// CapacityLines returns the number of lines the cache can hold.
+func (c *Cache) CapacityLines() int64 { return int64(len(c.lines)) }
+
+func (c *Cache) setAndTag(a Addr) (int, uint64) {
+	la := uint64(a) >> c.setShift
+	return int(la&c.setMask) * c.ways, la >> bits.Len64(c.setMask)
+}
+
+// Lookup probes for the line containing a. On a hit it updates recency and
+// counters and returns (readyAt, true); on a miss it returns (0, false).
+// demand distinguishes demand loads/stores (counted, clears prefetch flag)
+// from prefetch probes (not counted as demand traffic).
+func (c *Cache) Lookup(a Addr, demand bool, now int64) (readyAt int64, hit bool) {
+	base, tag := c.setAndTag(a)
+	set := c.lines[base : base+c.ways]
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			c.clock++
+			ln.used = c.clock
+			if demand {
+				c.Stats.DemandHits++
+				if ln.prefetch {
+					c.Stats.PrefetchHits++
+					ln.prefetch = false
+				}
+				if ln.readyAt > now {
+					c.Stats.InFlightHits++
+				}
+			}
+			return ln.readyAt, true
+		}
+	}
+	if demand {
+		c.Stats.DemandMisses++
+	}
+	return 0, false
+}
+
+// Fill installs the line containing a, with its data becoming available at
+// readyAt. The LRU line of the set is evicted if the set is full. prefetch
+// marks the fill as speculative for useless-prefetch accounting.
+func (c *Cache) Fill(a Addr, readyAt int64, prefetch bool) {
+	base, tag := c.setAndTag(a)
+	set := c.lines[base : base+c.ways]
+	c.clock++
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			// Already present (e.g. two prefetches to one line).
+			if readyAt < ln.readyAt {
+				ln.readyAt = readyAt
+			}
+			ln.used = c.clock
+			return
+		}
+	}
+	victim := 0
+	var victimUsed int64 = 1<<63 - 1
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid {
+			victim = i
+			break
+		}
+		if ln.used < victimUsed {
+			victim, victimUsed = i, ln.used
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		c.Stats.Evictions++
+		if v.prefetch {
+			c.Stats.UselessPrefILL++
+		}
+	}
+	*v = line{tag: tag, readyAt: readyAt, used: c.clock, valid: true, prefetch: prefetch}
+	if prefetch {
+		c.Stats.PrefetchFills++
+	}
+}
+
+// Contains reports whether the line holding a is resident, without touching
+// recency or counters. Intended for tests and assertions.
+func (c *Cache) Contains(a Addr) bool {
+	base, tag := c.setAndTag(a)
+	for _, ln := range c.lines[base : base+c.ways] {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset empties the cache and zeroes its counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock = 0
+	c.Stats = CacheStats{}
+}

@@ -1,0 +1,190 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCache(sizeBytes int64, ways int) *Cache {
+	return NewCache(CacheConfig{Name: "t", SizeBytes: sizeBytes, Ways: ways, LatencyCyc: 4})
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 64 || LineAddr(130) != 128 {
+		t.Fatal("LineAddr misaligned")
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := testCache(4096, 4)
+	if _, hit := c.Lookup(0x1000, true, 0); hit {
+		t.Fatal("hit in empty cache")
+	}
+	c.Fill(0x1000, 10, false)
+	if _, hit := c.Lookup(0x1000, true, 20); !hit {
+		t.Fatal("miss after fill")
+	}
+	if c.Stats.DemandHits != 1 || c.Stats.DemandMisses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 4 ways, 1 set: 256 bytes with 64B lines.
+	c := testCache(256, 4)
+	if c.NumSets() != 1 {
+		t.Fatalf("sets = %d", c.NumSets())
+	}
+	for i := 0; i < 4; i++ {
+		c.Fill(Addr(i*64), 0, false)
+	}
+	// Touch line 0 so line 1 becomes LRU.
+	c.Lookup(0, true, 0)
+	c.Fill(4*64, 0, false) // evicts LRU
+	if !c.Contains(0) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Contains(64) {
+		t.Fatal("LRU line survived")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+func TestCacheSetIndexing(t *testing.T) {
+	// Two sets: addresses 0 and 64 land in different sets; 0 and 128 in
+	// the same set.
+	c := testCache(2*64*2, 2) // 2 sets, 2 ways
+	if c.NumSets() != 2 {
+		t.Fatalf("sets = %d", c.NumSets())
+	}
+	c.Fill(0, 0, false)
+	c.Fill(128, 0, false)
+	c.Fill(256, 0, false) // same set as 0 and 128; evicts 0
+	if c.Contains(0) {
+		t.Fatal("expected conflict eviction of line 0")
+	}
+	if !c.Contains(128) || !c.Contains(256) {
+		t.Fatal("set contents wrong")
+	}
+}
+
+func TestCachePrefetchAccounting(t *testing.T) {
+	c := testCache(4096, 4)
+	c.Fill(0x40, 100, true)
+	if c.Stats.PrefetchFills != 1 {
+		t.Fatalf("prefetch fills = %d", c.Stats.PrefetchFills)
+	}
+	// Demand touch converts the line and counts a prefetch hit.
+	if _, hit := c.Lookup(0x40, true, 200); !hit {
+		t.Fatal("prefetched line not resident")
+	}
+	if c.Stats.PrefetchHits != 1 {
+		t.Fatalf("prefetch hits = %d", c.Stats.PrefetchHits)
+	}
+	// Second touch is an ordinary hit, not another prefetch hit.
+	c.Lookup(0x40, true, 300)
+	if c.Stats.PrefetchHits != 1 {
+		t.Fatalf("prefetch hits double-counted: %d", c.Stats.PrefetchHits)
+	}
+}
+
+func TestCacheInFlightHit(t *testing.T) {
+	c := testCache(4096, 4)
+	c.Fill(0x80, 500, false) // fill completes at cycle 500
+	if _, hit := c.Lookup(0x80, true, 100); !hit {
+		t.Fatal("line absent")
+	}
+	if c.Stats.InFlightHits != 1 {
+		t.Fatalf("in-flight hits = %d", c.Stats.InFlightHits)
+	}
+}
+
+func TestCacheRefillKeepsEarliestReady(t *testing.T) {
+	c := testCache(4096, 4)
+	c.Fill(0xC0, 500, true)
+	c.Fill(0xC0, 300, true) // second, earlier fill wins
+	ready, hit := c.Lookup(0xC0, false, 0)
+	if !hit || ready != 300 {
+		t.Fatalf("readyAt = %d, hit = %v", ready, hit)
+	}
+}
+
+func TestCacheUselessPrefetchCounting(t *testing.T) {
+	c := testCache(256, 4) // 1 set
+	c.Fill(0, 0, true)
+	for i := 1; i <= 4; i++ {
+		c.Fill(Addr(i*64), 0, false)
+	}
+	if c.Stats.UselessPrefILL != 1 {
+		t.Fatalf("useless prefetch evictions = %d", c.Stats.UselessPrefILL)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := testCache(4096, 4)
+	c.Fill(0, 0, false)
+	c.Lookup(0, true, 0)
+	c.Reset()
+	if c.Contains(0) {
+		t.Fatal("line survived reset")
+	}
+	if c.Stats.DemandHits != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestCacheCapacityLines(t *testing.T) {
+	c := testCache(32*1024, 8)
+	if c.CapacityLines() != 512 {
+		t.Fatalf("capacity = %d lines", c.CapacityLines())
+	}
+}
+
+// Property: a cache never holds more distinct lines than its capacity, and
+// a line just filled is always resident.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := testCache(1024, 2) // 8 sets * 2 ways = 16 lines
+		for _, a := range addrs {
+			c.Fill(Addr(a), 0, false)
+			if !c.Contains(Addr(a)) {
+				return false
+			}
+		}
+		resident := 0
+		seen := map[Addr]bool{}
+		for _, a := range addrs {
+			la := LineAddr(Addr(a))
+			if !seen[la] && c.Contains(la) {
+				resident++
+			}
+			seen[la] = true
+		}
+		return resident <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero-size cache")
+		}
+	}()
+	NewCache(CacheConfig{SizeBytes: 0, Ways: 4})
+}
+
+func TestHitRate(t *testing.T) {
+	var s CacheStats
+	if s.HitRate() != 0 {
+		t.Fatal("idle hit rate should be 0")
+	}
+	s.DemandHits, s.DemandMisses = 3, 1
+	if s.HitRate() != 0.75 {
+		t.Fatalf("hit rate = %g", s.HitRate())
+	}
+}

@@ -1,0 +1,88 @@
+package memsim
+
+// DRAMConfig describes the memory behind the LLC.
+type DRAMConfig struct {
+	// BaseLatencyCyc is the unloaded round-trip latency of a line fill in
+	// core cycles (row activation + transfer + controller overheads).
+	BaseLatencyCyc int64
+	// PeakBandwidthBytesPerCyc is the per-socket peak bandwidth expressed
+	// in bytes per core cycle (e.g. 140 GB/s at 2.4 GHz ≈ 58.3 B/cyc).
+	PeakBandwidthBytesPerCyc float64
+	// QueueSensitivity scales how sharply latency grows with utilization;
+	// 1.0 approximates an M/D/1 controller queue.
+	QueueSensitivity float64
+}
+
+// DRAM models main memory as a fixed base latency plus a utilization-
+// dependent queueing term:
+//
+//	latency = base × (1 + k·ρ/(1−ρ))
+//
+// where ρ is the demanded fraction of peak bandwidth. ρ is supplied from
+// outside (package cpusim solves a fixed point across cores) rather than
+// tracked per access, which keeps the multi-core model deterministic and
+// O(1) per access. The model is a documented approximation of a shared
+// memory controller; see DESIGN.md §5.
+type DRAM struct {
+	cfg DRAMConfig
+	rho float64
+
+	// Stats counts traffic.
+	Stats DRAMStats
+}
+
+// DRAMStats counts DRAM traffic.
+type DRAMStats struct {
+	LineFills     uint64 // demand + prefetch fills served
+	PrefetchFills uint64 // subset of LineFills that were prefetches
+	BytesRead     uint64
+}
+
+// NewDRAM returns a DRAM model with utilization 0.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.BaseLatencyCyc <= 0 || cfg.PeakBandwidthBytesPerCyc <= 0 {
+		panic("memsim: invalid DRAM config")
+	}
+	if cfg.QueueSensitivity == 0 {
+		cfg.QueueSensitivity = 1
+	}
+	return &DRAM{cfg: cfg}
+}
+
+// Config returns the DRAM parameters.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// SetUtilization installs the bandwidth utilization ρ ∈ [0, 1) used for the
+// queueing term. Values ≥ 0.97 are clamped to keep latency finite; a real
+// controller saturates rather than diverging.
+func (d *DRAM) SetUtilization(rho float64) {
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 0.97 {
+		rho = 0.97
+	}
+	d.rho = rho
+}
+
+// Utilization returns the installed ρ.
+func (d *DRAM) Utilization() float64 { return d.rho }
+
+// AccessLatency returns the cycles to fill one line under the current
+// utilization.
+func (d *DRAM) AccessLatency() int64 {
+	q := 1 + d.cfg.QueueSensitivity*d.rho/(1-d.rho)
+	return int64(float64(d.cfg.BaseLatencyCyc) * q)
+}
+
+// RecordFill accounts one line fill.
+func (d *DRAM) RecordFill(prefetch bool) {
+	d.Stats.LineFills++
+	d.Stats.BytesRead += LineSize
+	if prefetch {
+		d.Stats.PrefetchFills++
+	}
+}
+
+// Reset zeroes counters but keeps configuration and utilization.
+func (d *DRAM) Reset() { d.Stats = DRAMStats{} }

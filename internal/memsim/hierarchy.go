@@ -1,0 +1,279 @@
+package memsim
+
+// MemParams collects the geometry and latencies for one core's view of the
+// memory system. Packages above (platform) construct these from CPU specs.
+type MemParams struct {
+	L1   CacheConfig
+	L2   CacheConfig
+	L3   CacheConfig // shared; size is the whole LLC
+	DRAM DRAMConfig
+
+	// HWPrefetch enables the next-line (L1) and stride (L2) hardware
+	// prefetchers, the paper's "baseline"; disable for "w/o HW-PF".
+	HWPrefetch bool
+	// L1PrefetchDegree and L2PrefetchDegree set engine aggressiveness.
+	L1PrefetchDegree int
+	L2PrefetchDegree int
+}
+
+// Shared is the portion of the memory system common to all cores on a
+// socket: the last-level cache and the DRAM behind it. In a multi-socket
+// configuration, lines homed on another socket are served by that
+// socket's DRAM plus an interconnect penalty (UPI/Infinity-Fabric-style).
+type Shared struct {
+	L3   *Cache
+	DRAM *DRAM
+
+	// Remote, when non-nil, is the other socket's DRAM; HomeLocal
+	// decides which socket a line lives on; RemotePenaltyCyc is the
+	// extra interconnect latency of a remote fill.
+	Remote           *DRAM
+	HomeLocal        func(Addr) bool
+	RemotePenaltyCyc int64
+}
+
+// NewShared builds the shared LLC+DRAM from params (single-socket: every
+// line is local).
+func NewShared(p MemParams) *Shared {
+	return &Shared{
+		L3:   NewCache(p.L3),
+		DRAM: NewDRAM(p.DRAM),
+	}
+}
+
+// memLatency returns the fill latency for line a under the current
+// utilizations, local or remote.
+func (s *Shared) memLatency(a Addr) int64 {
+	if s.Remote == nil || s.HomeLocal == nil || s.HomeLocal(a) {
+		return s.DRAM.AccessLatency()
+	}
+	return s.Remote.AccessLatency() + s.RemotePenaltyCyc
+}
+
+// recordFill accounts a fill of line a against the serving DRAM.
+func (s *Shared) recordFill(a Addr, prefetch bool) {
+	if s.Remote == nil || s.HomeLocal == nil || s.HomeLocal(a) {
+		s.DRAM.RecordFill(prefetch)
+		return
+	}
+	s.Remote.RecordFill(prefetch)
+}
+
+// Reset clears the shared state and counters (the local socket's only;
+// each socket resets its own).
+func (s *Shared) Reset() {
+	s.L3.Reset()
+	s.DRAM.Reset()
+}
+
+// Hierarchy is one core's private L1D and L2 in front of the shared LLC
+// and DRAM, plus the core's hardware prefetch engines.
+type Hierarchy struct {
+	L1     *Cache
+	L2     *Cache
+	shared *Shared
+
+	l1pf HWPrefetcher
+	l2pf HWPrefetcher
+	// HWPrefetchEnabled gates the hardware engines at run time so the
+	// same hierarchy can be reused across design points.
+	HWPrefetchEnabled bool
+
+	// Stats accumulates demand-load latency for the avg-load-latency
+	// metric the paper reports from VTune.
+	Stats HierStats
+}
+
+// HierStats aggregates core-side access metrics.
+type HierStats struct {
+	Loads          uint64
+	Stores         uint64
+	SWPrefetches   uint64
+	HWPrefetches   uint64
+	LoadLatencySum int64
+	LevelHits      [numLevels]uint64 // demand accesses satisfied per level
+}
+
+// AvgLoadLatency returns the mean demand-load latency in cycles.
+func (s HierStats) AvgLoadLatency() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.LoadLatencySum) / float64(s.Loads)
+}
+
+// NewHierarchy builds the private levels for one core in front of shared.
+func NewHierarchy(p MemParams, shared *Shared) *Hierarchy {
+	l1deg, l2deg := p.L1PrefetchDegree, p.L2PrefetchDegree
+	if l1deg < 1 {
+		l1deg = 1
+	}
+	if l2deg < 1 {
+		l2deg = 2
+	}
+	return &Hierarchy{
+		L1:                NewCache(p.L1),
+		L2:                NewCache(p.L2),
+		shared:            shared,
+		l1pf:              NewNextLinePrefetcher(l1deg),
+		l2pf:              NewStridePrefetcher(l2deg, 32),
+		HWPrefetchEnabled: p.HWPrefetch,
+	}
+}
+
+// Shared exposes the LLC+DRAM this hierarchy sits in front of.
+func (h *Hierarchy) Shared() *Shared { return h.shared }
+
+// Reset clears the private caches, prefetcher state, and counters. The
+// shared levels are reset separately (they belong to all cores).
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.l1pf.Reset()
+	h.l2pf.Reset()
+	h.Stats = HierStats{}
+}
+
+// residual converts a line's readyAt into the observed latency for an
+// access starting at now with nominal hit latency lat: the requester waits
+// for whichever completes later, the cache array access or the in-flight
+// fill.
+func residual(now, readyAt, lat int64) int64 {
+	if wait := readyAt - now; wait > lat {
+		return wait
+	}
+	return lat
+}
+
+// Access performs one memory access at simulated cycle `now` and returns
+// where it hit and its latency. Demand loads/stores walk L1→L2→L3→DRAM,
+// filling inclusively on the way back. Prefetch kinds locate the line and
+// install it at the hinted level (and all levels below it) without being
+// counted as demand traffic.
+func (h *Hierarchy) Access(now int64, a Addr, kind AccessKind) AccessResult {
+	a = LineAddr(a)
+	if kind.IsPrefetch() {
+		return h.prefetch(now, a, kind)
+	}
+	if kind == KindLoad {
+		h.Stats.Loads++
+	} else {
+		h.Stats.Stores++
+	}
+
+	// L1 probe.
+	if readyAt, hit := h.L1.Lookup(a, true, now); hit {
+		lat := residual(now, readyAt, h.L1.cfg.LatencyCyc)
+		h.record(kind, LevelL1, lat)
+		return AccessResult{Level: LevelL1, Latency: lat, InFlightHit: readyAt > now}
+	}
+	// L1 miss: train the L1 hardware prefetcher. Like Intel's DCU
+	// prefetcher, its fills land in L2 — strong enough to help streaming
+	// code, too weak to matter for row-to-row indirection.
+	if h.HWPrefetchEnabled {
+		for _, pa := range h.l1pf.OnDemandMiss(a) {
+			h.hwPrefetchInto(now, pa, LevelL2)
+		}
+	}
+
+	// L2 probe.
+	if readyAt, hit := h.L2.Lookup(a, true, now); hit {
+		lat := residual(now, readyAt, h.L2.cfg.LatencyCyc)
+		h.L1.Fill(a, now+lat, false)
+		h.record(kind, LevelL2, lat)
+		return AccessResult{Level: LevelL2, Latency: lat, InFlightHit: readyAt > now}
+	}
+	if h.HWPrefetchEnabled {
+		for _, pa := range h.l2pf.OnDemandMiss(a) {
+			h.hwPrefetchInto(now, pa, LevelL2)
+		}
+	}
+
+	// L3 probe.
+	if readyAt, hit := h.shared.L3.Lookup(a, true, now); hit {
+		lat := residual(now, readyAt, h.shared.L3.cfg.LatencyCyc)
+		h.L2.Fill(a, now+lat, false)
+		h.L1.Fill(a, now+lat, false)
+		h.record(kind, LevelL3, lat)
+		return AccessResult{Level: LevelL3, Latency: lat, InFlightHit: readyAt > now}
+	}
+
+	// DRAM (local or remote-socket per line homing).
+	lat := h.shared.L3.cfg.LatencyCyc + h.shared.memLatency(a)
+	h.shared.recordFill(a, false)
+	h.shared.L3.Fill(a, now+lat, false)
+	h.L2.Fill(a, now+lat, false)
+	h.L1.Fill(a, now+lat, false)
+	h.record(kind, LevelDRAM, lat)
+	return AccessResult{Level: LevelDRAM, Latency: lat}
+}
+
+func (h *Hierarchy) record(kind AccessKind, lvl Level, lat int64) {
+	h.Stats.LevelHits[lvl]++
+	if kind == KindLoad {
+		h.Stats.LoadLatencySum += lat
+	}
+}
+
+// prefetch implements the software prefetch hints. The returned latency is
+// the fill time — the core does not stall on it; package cpusim uses it to
+// model MSHR occupancy.
+func (h *Hierarchy) prefetch(now int64, a Addr, kind AccessKind) AccessResult {
+	h.Stats.SWPrefetches++
+	target := LevelL1
+	switch kind {
+	case KindPrefetchL2:
+		target = LevelL2
+	case KindPrefetchL3:
+		target = LevelL3
+	}
+	lvl, lat := h.locate(now, a)
+	if lvl <= target {
+		// Already close enough; the hint is a no-op.
+		return AccessResult{Level: lvl, Latency: 0}
+	}
+	readyAt := now + lat
+	if target <= LevelL3 {
+		h.shared.L3.Fill(a, readyAt, true)
+	}
+	if target <= LevelL2 {
+		h.L2.Fill(a, readyAt, true)
+	}
+	if target == LevelL1 {
+		h.L1.Fill(a, readyAt, true)
+	}
+	return AccessResult{Level: lvl, Latency: lat}
+}
+
+// hwPrefetchInto issues a hardware prefetch of line a into the given level.
+func (h *Hierarchy) hwPrefetchInto(now int64, a Addr, target Level) {
+	h.Stats.HWPrefetches++
+	lvl, lat := h.locate(now, a)
+	if lvl <= target {
+		return
+	}
+	readyAt := now + lat
+	h.shared.L3.Fill(a, readyAt, true)
+	if target <= LevelL2 {
+		h.L2.Fill(a, readyAt, true)
+	}
+	if target == LevelL1 {
+		h.L1.Fill(a, readyAt, true)
+	}
+}
+
+// locate finds the nearest level currently holding line a and the latency
+// to obtain it from there, without counting demand traffic or refilling.
+func (h *Hierarchy) locate(now int64, a Addr) (Level, int64) {
+	if readyAt, hit := h.L1.Lookup(a, false, now); hit {
+		return LevelL1, residual(now, readyAt, h.L1.cfg.LatencyCyc)
+	}
+	if readyAt, hit := h.L2.Lookup(a, false, now); hit {
+		return LevelL2, residual(now, readyAt, h.L2.cfg.LatencyCyc)
+	}
+	if readyAt, hit := h.shared.L3.Lookup(a, false, now); hit {
+		return LevelL3, residual(now, readyAt, h.shared.L3.cfg.LatencyCyc)
+	}
+	h.shared.recordFill(a, true)
+	return LevelDRAM, h.shared.L3.cfg.LatencyCyc + h.shared.memLatency(a)
+}

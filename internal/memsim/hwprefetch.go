@@ -1,0 +1,133 @@
+package memsim
+
+// Hardware prefetchers. Off-the-shelf CPUs ship simple next-line and
+// stride/stream engines (the paper cites Intel's four per-core
+// prefetchers). They excel on the sequential streams of the MLP stages and
+// on the consecutive lines *within* one embedding row, but cannot follow
+// the row-to-row indirection — which is why the paper finds toggling them
+// nearly irrelevant for the embedding stage (Fig. 10a, "w/o HW-PF").
+
+// HWPrefetcher is the interface the hierarchy drives on every demand miss
+// (training) to obtain addresses worth prefetching.
+type HWPrefetcher interface {
+	// OnDemandMiss observes a demand miss to line address a and returns
+	// the line addresses to prefetch (possibly none).
+	OnDemandMiss(a Addr) []Addr
+	// Reset clears training state.
+	Reset()
+}
+
+// NextLinePrefetcher fetches the next sequential line on every demand
+// miss — the classic L1 "adjacent line" prefetcher.
+type NextLinePrefetcher struct {
+	// Degree lines are fetched ahead (typically 1-2).
+	Degree int
+	out    []Addr
+}
+
+// NewNextLinePrefetcher returns a next-line prefetcher of the given degree.
+func NewNextLinePrefetcher(degree int) *NextLinePrefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &NextLinePrefetcher{Degree: degree}
+}
+
+// OnDemandMiss returns the next Degree sequential lines.
+func (p *NextLinePrefetcher) OnDemandMiss(a Addr) []Addr {
+	p.out = p.out[:0]
+	for i := 1; i <= p.Degree; i++ {
+		p.out = append(p.out, a+Addr(i)*LineSize)
+	}
+	return p.out
+}
+
+// Reset is a no-op: the next-line prefetcher is stateless.
+func (p *NextLinePrefetcher) Reset() {}
+
+// StridePrefetcher is a table-based stride detector in the style of Intel's
+// L2 streamer: it tracks recent miss addresses per 4 KiB region, and once
+// two consecutive misses in a region exhibit the same stride it prefetches
+// Degree further strides ahead.
+type StridePrefetcher struct {
+	// Degree strides are fetched once a stream is confirmed.
+	Degree int
+	// TableSize bounds the number of concurrently tracked regions.
+	TableSize int
+
+	entries map[Addr]*strideEntry
+	fifo    []Addr
+	out     []Addr
+}
+
+type strideEntry struct {
+	lastAddr  Addr
+	stride    int64
+	confirmed bool
+}
+
+// NewStridePrefetcher returns a stride prefetcher covering up to tableSize
+// concurrent streams.
+func NewStridePrefetcher(degree, tableSize int) *StridePrefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	if tableSize < 1 {
+		tableSize = 16
+	}
+	return &StridePrefetcher{
+		Degree:    degree,
+		TableSize: tableSize,
+		entries:   make(map[Addr]*strideEntry, tableSize),
+	}
+}
+
+const regionShift = 12 // 4 KiB regions, matching page-bounded HW streamers
+
+// OnDemandMiss trains on the miss and returns prefetch candidates.
+func (p *StridePrefetcher) OnDemandMiss(a Addr) []Addr {
+	p.out = p.out[:0]
+	region := a >> regionShift
+	e, ok := p.entries[region]
+	if !ok {
+		if len(p.entries) >= p.TableSize {
+			// Evict the oldest tracked region.
+			old := p.fifo[0]
+			p.fifo = p.fifo[1:]
+			delete(p.entries, old)
+		}
+		e = &strideEntry{lastAddr: a}
+		p.entries[region] = e
+		p.fifo = append(p.fifo, region)
+		return nil
+	}
+	stride := int64(a) - int64(e.lastAddr)
+	if stride != 0 && stride == e.stride {
+		e.confirmed = true
+	} else {
+		e.confirmed = false
+	}
+	e.stride = stride
+	e.lastAddr = a
+	if !e.confirmed || stride == 0 {
+		return nil
+	}
+	for i := 1; i <= p.Degree; i++ {
+		next := int64(a) + stride*int64(i)
+		if next < 0 {
+			break
+		}
+		// HW streamers do not cross the 4 KiB boundary.
+		if Addr(next)>>regionShift != region {
+			break
+		}
+		p.out = append(p.out, LineAddr(Addr(next)))
+	}
+	return p.out
+}
+
+// Reset clears all training state.
+func (p *StridePrefetcher) Reset() {
+	p.entries = make(map[Addr]*strideEntry, p.TableSize)
+	p.fifo = p.fifo[:0]
+}

@@ -1,0 +1,78 @@
+package memsim
+
+import "testing"
+
+func TestNextLinePrefetcher(t *testing.T) {
+	p := NewNextLinePrefetcher(2)
+	got := p.OnDemandMiss(0x1000)
+	if len(got) != 2 || got[0] != 0x1040 || got[1] != 0x1080 {
+		t.Fatalf("candidates = %#v", got)
+	}
+}
+
+func TestNextLinePrefetcherMinDegree(t *testing.T) {
+	p := NewNextLinePrefetcher(0)
+	if p.Degree != 1 {
+		t.Fatalf("degree = %d", p.Degree)
+	}
+}
+
+func TestStridePrefetcherDetectsConstantStride(t *testing.T) {
+	p := NewStridePrefetcher(2, 8)
+	base := Addr(0x10000)
+	// First two misses train; the third confirms the stride.
+	if got := p.OnDemandMiss(base); got != nil {
+		t.Fatalf("first miss prefetched %v", got)
+	}
+	if got := p.OnDemandMiss(base + 128); got != nil {
+		t.Fatalf("second miss prefetched %v", got)
+	}
+	got := p.OnDemandMiss(base + 256)
+	if len(got) != 2 || got[0] != base+384 || got[1] != base+512 {
+		t.Fatalf("confirmed stride candidates = %#v", got)
+	}
+}
+
+func TestStridePrefetcherIgnoresIrregular(t *testing.T) {
+	p := NewStridePrefetcher(2, 8)
+	base := Addr(0x10000)
+	p.OnDemandMiss(base)
+	p.OnDemandMiss(base + 128)
+	if got := p.OnDemandMiss(base + 500); got != nil {
+		t.Fatalf("irregular stream prefetched %v", got)
+	}
+}
+
+func TestStridePrefetcherStopsAtPageBoundary(t *testing.T) {
+	p := NewStridePrefetcher(8, 8)
+	base := Addr(0x10000) // page-aligned
+	p.OnDemandMiss(base + 4096 - 3*64)
+	p.OnDemandMiss(base + 4096 - 2*64)
+	got := p.OnDemandMiss(base + 4096 - 1*64)
+	if len(got) != 0 {
+		t.Fatalf("crossed 4KiB boundary: %#v", got)
+	}
+}
+
+func TestStridePrefetcherTableEviction(t *testing.T) {
+	p := NewStridePrefetcher(1, 2)
+	// Train three regions; the first must be evicted.
+	p.OnDemandMiss(0x0000)
+	p.OnDemandMiss(0x2000)
+	p.OnDemandMiss(0x4000)
+	if len(p.entries) != 2 {
+		t.Fatalf("table size = %d", len(p.entries))
+	}
+	if _, ok := p.entries[0]; ok {
+		t.Fatal("oldest region not evicted")
+	}
+}
+
+func TestStridePrefetcherReset(t *testing.T) {
+	p := NewStridePrefetcher(1, 4)
+	p.OnDemandMiss(0x1000)
+	p.Reset()
+	if len(p.entries) != 0 || len(p.fifo) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

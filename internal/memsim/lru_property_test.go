@@ -1,0 +1,116 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refLRU is a straightforward reference model of a set-associative LRU
+// cache: per set, a slice ordered most-recent-first.
+type refLRU struct {
+	ways int
+	sets map[uint64][]uint64
+	mask uint64
+}
+
+func newRefLRU(sizeBytes int64, ways int) *refLRU {
+	numSets := sizeBytes / (LineSize * int64(ways))
+	// Round down to a power of two like the real cache.
+	p := int64(1)
+	for p*2 <= numSets {
+		p *= 2
+	}
+	return &refLRU{ways: ways, sets: map[uint64][]uint64{}, mask: uint64(p - 1)}
+}
+
+func (r *refLRU) key(a Addr) (uint64, uint64) {
+	la := uint64(LineAddr(a)) / LineSize
+	return la & r.mask, la
+}
+
+// access touches a line; returns whether it was a hit.
+func (r *refLRU) access(a Addr) bool {
+	si, line := r.key(a)
+	set := r.sets[si]
+	for i, l := range set {
+		if l == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	set = append([]uint64{line}, set...)
+	if len(set) > r.ways {
+		set = set[:r.ways]
+	}
+	r.sets[si] = set
+	return false
+}
+
+// TestCacheMatchesReferenceLRU drives the production cache and the
+// reference model with the same random access string and requires
+// identical hit/miss behavior on every access.
+func TestCacheMatchesReferenceLRU(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := NewCache(CacheConfig{Name: "p", SizeBytes: 2048, Ways: 4, LatencyCyc: 1})
+		ref := newRefLRU(2048, 4)
+		for _, r := range raw {
+			a := Addr(r) * LineSize
+			_, hit := c.Lookup(a, true, 0)
+			if !hit {
+				c.Fill(a, 0, false)
+			}
+			if hit != ref.access(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheHitRateBoundedByCompulsory checks that with demand-fill-only
+// operation, misses are at least the number of distinct lines touched.
+func TestCacheHitRateBoundedByCompulsory(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := NewCache(CacheConfig{Name: "p", SizeBytes: 4096, Ways: 8, LatencyCyc: 1})
+		distinct := map[Addr]bool{}
+		for _, r := range raw {
+			a := Addr(r) * LineSize
+			distinct[a] = true
+			if _, hit := c.Lookup(a, true, 0); !hit {
+				c.Fill(a, 0, false)
+			}
+		}
+		return c.Stats.DemandMisses >= uint64(len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBiggerCacheNeverHitsLess: LRU caches have the stack (inclusion)
+// property at equal associativity structure; with full associativity a
+// bigger cache's hit count dominates. Use 1-set caches to make both
+// fully associative.
+func TestBiggerCacheNeverHitsLess(t *testing.T) {
+	f := func(raw []uint8) bool {
+		small := NewCache(CacheConfig{Name: "s", SizeBytes: 4 * LineSize, Ways: 4, LatencyCyc: 1})
+		big := NewCache(CacheConfig{Name: "b", SizeBytes: 16 * LineSize, Ways: 16, LatencyCyc: 1})
+		for _, r := range raw {
+			a := Addr(r%64) * LineSize
+			if _, hit := small.Lookup(a, true, 0); !hit {
+				small.Fill(a, 0, false)
+			}
+			if _, hit := big.Lookup(a, true, 0); !hit {
+				big.Fill(a, 0, false)
+			}
+		}
+		return big.Stats.DemandHits >= small.Stats.DemandHits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

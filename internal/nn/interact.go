@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/cpusim"
+	"dlrmsim/internal/memsim"
+)
+
+// interactBase places interaction scratch buffers in their own region.
+const interactBase memsim.Addr = 1 << 38
+
+// Interactor is a feature-interaction layer: it merges the bottom-MLP
+// output with the pooled embedding vectors into the top MLP's input. The
+// DLRM paper uses pairwise dot products (Interaction); DCN-v2 models use
+// cross layers (CrossInteraction); Wide&Deep-style models concatenate
+// (ConcatInteraction). All variants share the embedding front end, which
+// is why the paper's optimizations transfer across model families (§2.3).
+type Interactor interface {
+	// OutputDim is the width fed to the top MLP.
+	OutputDim() int
+	// Forward merges one sample's bottom vector and embedding vectors.
+	Forward(bottom []float32, emb [][]float32) ([]float32, error)
+	// FLOPs is the multiply-add work for one batch.
+	FLOPs(batch int) int64
+	// NewStream is the stage's instruction stream for one batch.
+	NewStream(cfg StreamConfig) cpusim.Stream
+}
+
+// Interaction implements DLRM's dot-product feature interaction: given the
+// bottom-MLP output and one pooled embedding vector per table (all of
+// dimension Dim), it computes all pairwise dot products among the
+// (Tables+1) vectors and concatenates them with the bottom-MLP output.
+type Interaction struct {
+	// Dim is the shared vector dimension.
+	Dim int
+	// Tables is the number of embedding vectors (the bottom-MLP output
+	// makes it Tables+1 interacting features).
+	Tables int
+}
+
+// OutputDim returns the interaction output size: the bottom-MLP vector
+// plus the strictly-lower-triangle of the pairwise dot-product matrix.
+func (it Interaction) OutputDim() int {
+	n := it.Tables + 1
+	return it.Dim + n*(n-1)/2
+}
+
+// FLOPs returns the multiply-add FLOPs for one batch of `batch` samples.
+func (it Interaction) FLOPs(batch int) int64 {
+	n := int64(it.Tables + 1)
+	return int64(batch) * n * (n - 1) / 2 * int64(it.Dim) * 2
+}
+
+// Forward computes the interaction for one sample: bottom is the
+// bottom-MLP output; emb[t] is table t's pooled vector.
+func (it Interaction) Forward(bottom []float32, emb [][]float32) ([]float32, error) {
+	if len(bottom) != it.Dim {
+		return nil, fmt.Errorf("nn: interaction bottom dim %d, want %d", len(bottom), it.Dim)
+	}
+	if len(emb) != it.Tables {
+		return nil, fmt.Errorf("nn: interaction got %d tables, want %d", len(emb), it.Tables)
+	}
+	vecs := make([][]float32, 0, it.Tables+1)
+	vecs = append(vecs, bottom)
+	for t, e := range emb {
+		if len(e) != it.Dim {
+			return nil, fmt.Errorf("nn: interaction table %d dim %d, want %d", t, len(e), it.Dim)
+		}
+		vecs = append(vecs, e)
+	}
+	out := make([]float32, 0, it.OutputDim())
+	out = append(out, bottom...)
+	for i := 1; i < len(vecs); i++ {
+		for j := 0; j < i; j++ {
+			var dot float32
+			for k := 0; k < it.Dim; k++ {
+				dot += vecs[i][k] * vecs[j][k]
+			}
+			out = append(out, dot)
+		}
+	}
+	return out, nil
+}
+
+// NewStream returns the interaction's instruction stream for one batch.
+// The inputs are recently produced activations (cache-resident), so the
+// stream is dominated by compute with a light pass over the activation
+// lines.
+func (it Interaction) NewStream(cfg StreamConfig) cpusim.Stream {
+	if cfg.FlopsPerCycle <= 0 || cfg.Batch < 1 {
+		panic(fmt.Sprintf("nn: bad stream config %+v", cfg))
+	}
+	actBytes := int64(it.Tables+1) * int64(it.Dim) * 4 * int64(cfg.Batch)
+	lines := (actBytes + memsim.LineSize - 1) / memsim.LineSize
+	perLine := float64(it.FLOPs(cfg.Batch)) / cfg.FlopsPerCycle / float64(lines)
+	var line int64
+	emitLoad := true
+	return cpusim.FuncStream(func(op *cpusim.Op) bool {
+		if line >= lines {
+			return false
+		}
+		if emitLoad {
+			*op = cpusim.Op{Kind: cpusim.OpLoad, Addr: interactBase + memsim.Addr(line*memsim.LineSize)}
+			emitLoad = false
+			return true
+		}
+		*op = cpusim.Op{Kind: cpusim.OpCompute, Cost: perLine}
+		emitLoad = true
+		line++
+		return true
+	})
+}

@@ -1,0 +1,69 @@
+// Package reuse implements the paper's reuse-distance model (Fig. 6):
+// exact LRU stack distances over an index-access trace, histograms of
+// those distances, and the projection from cache capacity (in embedding
+// vectors) to hit rate, including cold-miss accounting.
+package reuse
+
+import "math/bits"
+
+// fenwick is a binary indexed tree over access timestamps; prefix sums
+// count how many distinct keys were touched in a time range, which is the
+// core of the O(n log n) stack-distance algorithm (Olken's method with a
+// BIT instead of a balanced tree).
+//
+// The capacity (len(tree)-1) is always a power of two so the tree can be
+// doubled in place: when extending from P to 2P, every new internal node
+// except 2P covers only new (empty) positions, and node 2P covers [1, 2P],
+// whose current sum is sum(P).
+type fenwick struct {
+	tree []int32
+}
+
+func newFenwick(capacity int) *fenwick {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := 1 << bits.Len(uint(capacity-1))
+	if p < capacity {
+		p <<= 1
+	}
+	return &fenwick{tree: make([]int32, p+1)}
+}
+
+// grow doubles the capacity until 1-based position n exists.
+func (f *fenwick) grow(n int) {
+	for len(f.tree)-1 < n {
+		p := len(f.tree) - 1
+		total := f.sum(p)
+		f.tree = append(f.tree, make([]int32, p)...)
+		f.tree[2*p] = total
+	}
+}
+
+// add applies delta at 1-based position i.
+func (f *fenwick) add(i int, delta int32) {
+	f.grow(i)
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [1, i].
+func (f *fenwick) sum(i int) int32 {
+	if i > len(f.tree)-1 {
+		i = len(f.tree) - 1
+	}
+	var s int32
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum over [lo, hi] (1-based, inclusive).
+func (f *fenwick) rangeSum(lo, hi int) int32 {
+	if hi < lo {
+		return 0
+	}
+	return f.sum(hi) - f.sum(lo-1)
+}

@@ -1,0 +1,134 @@
+package reuse
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/stats"
+	"dlrmsim/internal/trace"
+)
+
+// ModelConfig drives the paper's Fig. 6 pipeline: an index-access trace is
+// generated from the dataset per Algorithm 1's loop order, stack distances
+// are computed, and cache capacities (converted to "embedding vectors the
+// cache can hold", assuming full associativity and fp32 rows) are marked
+// as hit rates.
+type ModelConfig struct {
+	// EmbeddingDim converts byte capacities to vector capacities:
+	// a cache of B bytes holds B / (4*EmbeddingDim) vectors.
+	EmbeddingDim int
+	// Cores is the number of cores concurrently running batches. Each
+	// batch is mapped to one core (the paper's execution model); the
+	// interleaved trace models their shared-LLC interaction.
+	Cores int
+	// CacheBytes lists the capacities to mark, e.g. L1/L2/L3 sizes.
+	CacheBytes []int64
+	// CacheNames labels them 1:1 in the result.
+	CacheNames []string
+}
+
+// ModelResult is the paper's reuse-distance characterization for one
+// dataset.
+type ModelResult struct {
+	// Hist is the distance histogram (vector-granularity, interleaved
+	// across cores).
+	Hist *stats.Histogram
+	// HitRates holds, per configured cache, the hit rate a
+	// fully-associative cache of that capacity would achieve.
+	HitRates map[string]float64
+	// VectorCapacity maps cache name to its capacity in vectors.
+	VectorCapacity map[string]int64
+	// ColdMissFraction is the fraction of accesses that are first
+	// touches (the paper's yellow cold-miss marker).
+	ColdMissFraction float64
+	// Accesses is the trace length analyzed.
+	Accesses uint64
+	// MeanDistance is the mean finite stack distance.
+	MeanDistance float64
+}
+
+// Run generates the index-access trace for d (batch b goes to core
+// b%Cores; concurrent cores' accesses interleave round-robin) and returns
+// the reuse-distance characterization. The access key is (table, row):
+// one embedding vector, matching the paper's vector-granularity model.
+func Run(d *trace.Dataset, cfg ModelConfig) (*ModelResult, error) {
+	if cfg.EmbeddingDim < 1 || cfg.Cores < 1 {
+		return nil, fmt.Errorf("reuse: bad model config %+v", cfg)
+	}
+	if len(cfg.CacheBytes) != len(cfg.CacheNames) {
+		return nil, fmt.Errorf("reuse: %d capacities vs %d names", len(cfg.CacheBytes), len(cfg.CacheNames))
+	}
+	tc := d.Config()
+	vectorBytes := int64(4 * cfg.EmbeddingDim)
+	capsVec := make([]int64, len(cfg.CacheBytes))
+	for i, b := range cfg.CacheBytes {
+		capsVec[i] = b / vectorBytes
+	}
+	an := NewAnalyzer(tc.BatchSize * tc.LookupsPerSample * tc.Tables)
+	tracker := NewCapacityTracker(capsVec)
+
+	// Round-robin interleave the per-core streams. Core c runs batches
+	// c, c+Cores, c+2*Cores, ...; within a batch the loop order is
+	// table → sample → lookup (Algorithm 1).
+	type coreCursor struct {
+		batch   int // current batch index (absolute)
+		table   int
+		pos     int // index into the current TableBatch.Indices
+		current trace.TableBatch
+		done    bool
+	}
+	cursors := make([]*coreCursor, cfg.Cores)
+	for c := range cursors {
+		cur := &coreCursor{batch: c}
+		if cur.batch >= tc.Batches {
+			cur.done = true
+		} else {
+			cur.current = d.Batch(cur.batch, 0)
+		}
+		cursors[c] = cur
+	}
+	active := 0
+	for _, cur := range cursors {
+		if !cur.done {
+			active++
+		}
+	}
+	for active > 0 {
+		for _, cur := range cursors {
+			if cur.done {
+				continue
+			}
+			ix := cur.current.Indices[cur.pos]
+			key := uint64(cur.table)<<32 | uint64(uint32(ix))
+			tracker.Record(an.Access(key))
+			cur.pos++
+			if cur.pos >= len(cur.current.Indices) {
+				cur.pos = 0
+				cur.table++
+				if cur.table >= tc.Tables {
+					cur.table = 0
+					cur.batch += cfg.Cores
+					if cur.batch >= tc.Batches {
+						cur.done = true
+						active--
+						continue
+					}
+				}
+				cur.current = d.Batch(cur.batch, cur.table)
+			}
+		}
+	}
+
+	res := &ModelResult{
+		Hist:             an.Histogram(),
+		HitRates:         make(map[string]float64, len(cfg.CacheNames)),
+		VectorCapacity:   make(map[string]int64, len(cfg.CacheNames)),
+		ColdMissFraction: tracker.ColdFraction(),
+		Accesses:         tracker.Total(),
+		MeanDistance:     an.Histogram().Mean(),
+	}
+	for i, name := range cfg.CacheNames {
+		res.HitRates[name] = tracker.HitRate(i)
+		res.VectorCapacity[name] = capsVec[i]
+	}
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/embedding"
+)
+
+// Mode selects how a batch's stages are decomposed onto a core group.
+type Mode int
+
+const (
+	// Sequential runs the whole inference as one task (the stock design;
+	// the group's second worker idles or serves another batch).
+	Sequential Mode = iota
+	// ModelParallel is MP-HT's decomposition: the embedding stage and
+	// the bottom MLP run as two concurrent tasks on the group's
+	// siblings; interaction + top MLP run after the join.
+	ModelParallel
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case ModelParallel:
+		return "model-parallel"
+	default:
+		return "invalid"
+	}
+}
+
+// Server executes numeric DLRM inference on a hyperthreading-aware pool.
+// It is safe for concurrent use: callers may dispatch batches to distinct
+// groups in parallel.
+type Server struct {
+	pool  *Pool
+	model *dlrm.Model
+	mode  Mode
+}
+
+// NewServer wraps pool and model. The pool should use PerCoreQueue for
+// the placement guarantees the paper's design depends on.
+func NewServer(pool *Pool, model *dlrm.Model, mode Mode) (*Server, error) {
+	if pool == nil || model == nil {
+		return nil, fmt.Errorf("sched: nil pool or model")
+	}
+	if mode != Sequential && mode != ModelParallel {
+		return nil, fmt.Errorf("sched: invalid mode %d", mode)
+	}
+	return &Server{pool: pool, model: model, mode: mode}, nil
+}
+
+// Mode returns the stage-decomposition mode.
+func (s *Server) Mode() Mode { return s.mode }
+
+// InferBatch runs one batch on the given core group and returns the CTR
+// predictions. Under ModelParallel, the embedding stage and the bottom
+// MLP execute as concurrent sibling tasks — numerically identical to
+// sequential execution because the stages are independent (the property
+// §4.3 exploits).
+func (s *Server) InferBatch(group int, dense [][]float32, src embedding.BatchSource) ([]float32, error) {
+	batch := len(dense)
+	if batch == 0 {
+		return nil, fmt.Errorf("sched: empty batch")
+	}
+	if s.mode == Sequential {
+		var preds []float32
+		var err error
+		var wg sync.WaitGroup
+		wg.Add(1)
+		if e := s.pool.Submit(group, func() {
+			defer wg.Done()
+			preds, err = s.model.Infer(dense, src)
+		}); e != nil {
+			return nil, e
+		}
+		wg.Wait()
+		return preds, err
+	}
+
+	// ModelParallel: two independent stage tasks on the group.
+	var (
+		wg        sync.WaitGroup
+		bottomOut [][]float32
+		pooled    [][][]float32
+		embErr    error
+		botErr    error
+	)
+	wg.Add(2)
+	if e := s.pool.Submit(group, func() {
+		defer wg.Done()
+		pooled, embErr = s.model.EmbedBatch(batch, src)
+	}); e != nil {
+		return nil, e
+	}
+	if e := s.pool.Submit(group, func() {
+		defer wg.Done()
+		bottomOut, botErr = s.model.Bottom().Forward(dense)
+	}); e != nil {
+		return nil, e
+	}
+	wg.Wait()
+	if embErr != nil {
+		return nil, embErr
+	}
+	if botErr != nil {
+		return nil, botErr
+	}
+
+	// Join: interaction + top MLP on the same group.
+	var preds []float32
+	var err error
+	wg.Add(1)
+	if e := s.pool.Submit(group, func() {
+		defer wg.Done()
+		preds, err = s.model.InteractTop(bottomOut, pooled)
+	}); e != nil {
+		return nil, e
+	}
+	wg.Wait()
+	return preds, err
+}
+
+// InferAll dispatches a set of batches across all groups round-robin and
+// waits for every prediction; result i corresponds to batches[i].
+func (s *Server) InferAll(denses [][][]float32, srcs []embedding.BatchSource) ([][]float32, error) {
+	if len(denses) != len(srcs) {
+		return nil, fmt.Errorf("sched: %d dense batches vs %d sparse sources", len(denses), len(srcs))
+	}
+	out := make([][]float32, len(denses))
+	errs := make([]error, len(denses))
+	var wg sync.WaitGroup
+	for i := range denses {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = s.InferBatch(i%s.pool.Groups(), denses[i], srcs[i])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+// Package serve models DLRM inference serving for the paper's tail-latency
+// evaluation (Fig. 17): a Poisson load generator in front of a multi-core
+// server, FCFS dispatch of one batch per free core, and percentile
+// reporting against SLA targets.
+//
+// Service times come from the timing simulator (one design point's batch
+// latency); an optional jitter term models the service-time variance real
+// systems exhibit.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"dlrmsim/internal/stats"
+)
+
+// Config describes one serving experiment.
+type Config struct {
+	// Cores is the number of servers (batches served concurrently).
+	Cores int
+	// MeanArrivalMs is the mean inter-arrival time of the Poisson load.
+	MeanArrivalMs float64
+	// ServiceMs is the deterministic batch service time (from the
+	// timing simulator's Report.BatchLatencyMs).
+	ServiceMs float64
+	// JitterFrac adds lognormal-ish service variance: each request's
+	// service time is multiplied by exp(J·N(0,1)) with J = JitterFrac.
+	// 0 disables jitter.
+	JitterFrac float64
+	// Requests is the number of requests to simulate (default 2000).
+	Requests int
+	// WarmupRequests are excluded from the percentiles (default 5%).
+	WarmupRequests int
+	// SLATargetMs marks the compliance threshold (0 = no SLA tracking).
+	SLATargetMs float64
+	// Seed drives arrivals and jitter.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("serve: %d cores", c.Cores)
+	}
+	if c.MeanArrivalMs <= 0 || c.ServiceMs <= 0 {
+		return fmt.Errorf("serve: non-positive times (arrival %g, service %g)", c.MeanArrivalMs, c.ServiceMs)
+	}
+	if c.Requests == 0 {
+		c.Requests = 2000
+	}
+	if c.Requests < 1 {
+		return fmt.Errorf("serve: %d requests", c.Requests)
+	}
+	if c.WarmupRequests == 0 {
+		c.WarmupRequests = c.Requests / 20
+	}
+	if c.WarmupRequests >= c.Requests {
+		return fmt.Errorf("serve: warmup %d >= requests %d", c.WarmupRequests, c.Requests)
+	}
+	return nil
+}
+
+// Result summarizes one serving run.
+type Result struct {
+	// P50, P95, P99, Mean are end-to-end latencies in ms (queueing +
+	// service), measured after warmup.
+	P50, P95, P99, Mean float64
+	// SLACompliant is the fraction of post-warmup requests meeting the
+	// SLA target (1.0 when no target is set).
+	SLACompliant float64
+	// Utilization is offered load over capacity: service / (arrival ×
+	// cores). Above ~1 the system saturates.
+	Utilization float64
+	// MaxQueueWaitMs is the worst queueing delay observed.
+	MaxQueueWaitMs float64
+}
+
+// MeetsSLA reports whether the p95 latency is within the target.
+func (r Result) MeetsSLA(targetMs float64) bool { return r.P95 <= targetMs }
+
+// Simulate runs the M/D/c-style queueing simulation (deterministic or
+// jittered service, Poisson arrivals, FCFS, c servers).
+func Simulate(cfg Config) (Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return Result{}, err
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x5E12E)
+	// Server free times; linear scan is fine for realistic core counts.
+	free := make([]float64, cfg.Cores)
+	latencies := make([]float64, 0, cfg.Requests-cfg.WarmupRequests)
+	var now, maxWait float64
+	slaOK := 0
+	for i := 0; i < cfg.Requests; i++ {
+		now += rng.ExpFloat64() * cfg.MeanArrivalMs
+		// Earliest-free server.
+		best := 0
+		for s := 1; s < len(free); s++ {
+			if free[s] < free[best] {
+				best = s
+			}
+		}
+		start := now
+		if free[best] > start {
+			start = free[best]
+		}
+		service := cfg.ServiceMs
+		if cfg.JitterFrac > 0 {
+			service *= math.Exp(cfg.JitterFrac * rng.NormFloat64())
+		}
+		free[best] = start + service
+		if i < cfg.WarmupRequests {
+			continue
+		}
+		wait := start - now
+		if wait > maxWait {
+			maxWait = wait
+		}
+		lat := wait + service
+		latencies = append(latencies, lat)
+		if cfg.SLATargetMs <= 0 || lat <= cfg.SLATargetMs {
+			slaOK++
+		}
+	}
+	res := Result{
+		P50:            stats.Percentile(latencies, 0.50),
+		P95:            stats.Percentile(latencies, 0.95),
+		P99:            stats.Percentile(latencies, 0.99),
+		Mean:           stats.Mean(latencies),
+		SLACompliant:   float64(slaOK) / float64(len(latencies)),
+		Utilization:    cfg.ServiceMs / (cfg.MeanArrivalMs * float64(cfg.Cores)),
+		MaxQueueWaitMs: maxWait,
+	}
+	return res, nil
+}
+
+// SweepPoint is one arrival rate's result (a Fig. 17 x-position).
+type SweepPoint struct {
+	MeanArrivalMs float64
+	Result        Result
+}
+
+// SweepArrival runs Simulate across the given mean inter-arrival times —
+// the x-axis sweep of Fig. 17.
+func SweepArrival(cfg Config, arrivalsMs []float64) ([]SweepPoint, error) {
+	if len(arrivalsMs) == 0 {
+		return nil, fmt.Errorf("serve: empty arrival sweep")
+	}
+	out := make([]SweepPoint, 0, len(arrivalsMs))
+	for _, a := range arrivalsMs {
+		c := cfg
+		c.MeanArrivalMs = a
+		r, err := Simulate(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{MeanArrivalMs: a, Result: r})
+	}
+	return out, nil
+}
+
+// FastestCompliantArrival returns the smallest mean inter-arrival time in
+// the sweep whose p95 meets the SLA target — "how fast a load can this
+// design tolerate", the paper's headline tail-latency metric. ok is false
+// when no point complies.
+func FastestCompliantArrival(points []SweepPoint, slaMs float64) (float64, bool) {
+	best := math.Inf(1)
+	ok := false
+	for _, p := range points {
+		if p.Result.MeetsSLA(slaMs) && p.MeanArrivalMs < best {
+			best = p.MeanArrivalMs
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"testing"
+)
+
+func baseConfig() Config {
+	return Config{
+		Cores:         8,
+		MeanArrivalMs: 2,
+		ServiceMs:     10,
+		Requests:      4000,
+		Seed:          3,
+	}
+}
+
+func TestSimulateLightLoad(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MeanArrivalMs = 100 // utilization ~1.25%
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly no queueing: p95 ≈ service time.
+	if res.P95 < 10 || res.P95 > 12 {
+		t.Fatalf("light-load p95 = %g, want ~10", res.P95)
+	}
+	if res.MaxQueueWaitMs > 20 {
+		t.Fatalf("light-load max wait = %g", res.MaxQueueWaitMs)
+	}
+}
+
+func TestSimulateSaturation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MeanArrivalMs = 1 // utilization 1.25 > 1: saturated
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization <= 1 {
+		t.Fatalf("utilization = %g, want > 1", res.Utilization)
+	}
+	// Queueing delay should dwarf service time.
+	if res.P95 < 50 {
+		t.Fatalf("saturated p95 = %g, expected large queueing", res.P95)
+	}
+}
+
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	points, err := SweepArrival(baseConfig(), []float64{50, 5, 2, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Result.P95 < points[i-1].Result.P95-0.5 {
+			t.Fatalf("p95 not (weakly) increasing with load: %+v", points)
+		}
+	}
+}
+
+func TestFasterServiceToleratesFasterArrivals(t *testing.T) {
+	// The paper's Fig. 17 argument: a faster design (Integrated) stays
+	// SLA-compliant at faster arrival rates.
+	arrivals := []float64{8, 4, 2, 1.5, 1.2, 1}
+	slow := baseConfig()
+	slow.ServiceMs = 10
+	fast := baseConfig()
+	fast.ServiceMs = 6
+	ps, err := SweepArrival(slow, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := SweepArrival(fast, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sla = 30
+	aSlow, okS := FastestCompliantArrival(ps, sla)
+	aFast, okF := FastestCompliantArrival(pf, sla)
+	if !okS || !okF {
+		t.Fatalf("no compliant region: slow=%v fast=%v", okS, okF)
+	}
+	if aFast >= aSlow {
+		t.Fatalf("faster design tolerates %g ms arrivals, slower %g", aFast, aSlow)
+	}
+}
+
+func TestSLACompliance(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MeanArrivalMs = 100
+	cfg.SLATargetMs = 11
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLACompliant < 0.99 {
+		t.Fatalf("light load compliance = %g", res.SLACompliant)
+	}
+	cfg.SLATargetMs = 5 // below service time: nothing complies
+	res, err = Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLACompliant != 0 {
+		t.Fatalf("impossible SLA compliance = %g", res.SLACompliant)
+	}
+}
+
+func TestJitterWidensTail(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MeanArrivalMs = 100
+	noJitter, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.JitterFrac = 0.3
+	jittered, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jittered.P99 <= noJitter.P99 {
+		t.Fatalf("jitter did not widen tail: %g vs %g", jittered.P99, noJitter.P99)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P95 != b.P95 || a.Mean != b.Mean {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := baseConfig()
+	bad.Cores = 0
+	if _, err := Simulate(bad); err == nil {
+		t.Fatal("accepted zero cores")
+	}
+	bad = baseConfig()
+	bad.ServiceMs = -1
+	if _, err := Simulate(bad); err == nil {
+		t.Fatal("accepted negative service time")
+	}
+	if _, err := SweepArrival(baseConfig(), nil); err == nil {
+		t.Fatal("accepted empty sweep")
+	}
+}
+
+func TestFastestCompliantArrivalNoneCompliant(t *testing.T) {
+	points := []SweepPoint{{MeanArrivalMs: 1, Result: Result{P95: 100}}}
+	if _, ok := FastestCompliantArrival(points, 50); ok {
+		t.Fatal("reported compliance where none exists")
+	}
+}
+
+func TestPercentileOrdering(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MeanArrivalMs = 1.6
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.P50 <= res.P95 && res.P95 <= res.P99) {
+		t.Fatalf("percentiles out of order: %g %g %g", res.P50, res.P95, res.P99)
+	}
+	if res.Mean <= 0 {
+		t.Fatal("missing mean")
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	wantMean := float64(0+1+2+3+100+1000) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramInf(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	h.AddInf()
+	h.AddInf()
+	if h.InfCount() != 2 {
+		t.Fatalf("inf count = %d", h.InfCount())
+	}
+	if got := h.InfFraction(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("inf fraction = %g", got)
+	}
+	// Mean considers only finite values.
+	if h.Mean() != 5 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	h := NewHistogram()
+	// 10 observations of 0 and 10 of 1024.
+	for i := 0; i < 10; i++ {
+		h.Add(0)
+		h.Add(1024)
+	}
+	if got := h.FractionBelow(1); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("FractionBelow(1) = %g, want 0.5", got)
+	}
+	if got := h.FractionBelow(100000); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("FractionBelow(100000) = %g, want 1", got)
+	}
+	if got := h.FractionBelow(0); got != 0 {
+		t.Fatalf("FractionBelow(0) = %g, want 0", got)
+	}
+}
+
+func TestHistogramFractionBelowCountsInfInDenominator(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0)
+	h.AddInf()
+	// One of two observations is below any positive limit: infinite reuse
+	// distance (cold miss) can never be a hit.
+	if got := h.FractionBelow(10); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("FractionBelow with inf = %g, want 0.5", got)
+	}
+}
+
+func TestHistogramAddPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	NewHistogram().Add(-1)
+}
+
+func TestHistogramMonotoneFractionBelow(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		prev := -1.0
+		for _, limit := range []int64{1, 2, 4, 64, 1024, 70000} {
+			fb := h.FractionBelow(limit)
+			if fb < prev-1e-12 || fb < 0 || fb > 1 {
+				return false
+			}
+			prev = fb
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonEmptyBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0)
+	h.Add(3)
+	h.Add(3)
+	h.AddInf()
+	bs := h.NonEmptyBuckets()
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	if bs[0].Lo != 0 || bs[0].Count != 1 {
+		t.Fatalf("bucket0 = %+v", bs[0])
+	}
+	if bs[1].Lo != 2 || bs[1].Hi != 3 || bs[1].Count != 2 {
+		t.Fatalf("bucket1 = %+v", bs[1])
+	}
+	last := bs[len(bs)-1]
+	if last.Lo != -1 || last.Count != 1 {
+		t.Fatalf("inf bucket = %+v", last)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(s, 0.5); got != 5 {
+		t.Fatalf("p50 = %g", got)
+	}
+	if got := Percentile(s, 0.95); got != 10 {
+		t.Fatalf("p95 = %g", got)
+	}
+	if got := Percentile(s, 0); got != 1 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %g", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	s := []float64{3, 1, 2}
+	Percentile(s, 0.5)
+	if s[0] != 3 || s[1] != 1 || s[2] != 2 {
+		t.Fatalf("input mutated: %v", s)
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Fatalf("mean = %g", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("geomean = %g", got)
+	}
+	if got := GeoMean([]float64{0, -3}); got != 0 {
+		t.Fatalf("geomean of nonpositives = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("mean of empty = %g", got)
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// limitedWriter errors after n bytes, to exercise Write's error paths.
+type limitedWriter struct {
+	n int
+}
+
+func (w *limitedWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, io.ErrShortWrite
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteSurfacesWriterErrors(t *testing.T) {
+	cfg := smallConfig(MediumHot)
+	cfg.Tables = 1
+	cfg.Batches = 1
+	d := mustDataset(t, cfg)
+	// Fail at various truncation points: header, offsets, indices.
+	for _, limit := range []int{0, 10, 100, 2000} {
+		if err := Write(&limitedWriter{n: limit}, d); err == nil {
+			t.Errorf("limit %d: Write succeeded on failing writer", limit)
+		}
+	}
+}
+
+func TestReadRejectsTruncatedPayload(t *testing.T) {
+	cfg := smallConfig(MediumHot)
+	cfg.Tables = 1
+	cfg.Batches = 1
+	d := mustDataset(t, cfg)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 2, len(full) - 4, 40} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("accepted payload truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(fileMagic))
+	binary.Write(&buf, binary.LittleEndian, uint32(99)) // bad version
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+}
+
+func TestReadRejectsInvalidConfig(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(fileMagic))
+	binary.Write(&buf, binary.LittleEndian, uint32(fileVersion))
+	// hotness, rows=0 (invalid), tables, bs, lps, nb, seed
+	for _, v := range []int32{0, 0, 1, 1, 1, 1} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	binary.Write(&buf, binary.LittleEndian, uint64(1))
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("accepted zero-row config")
+	}
+}
+
+func TestStoredTraceIsBatchProviderShaped(t *testing.T) {
+	cfg := smallConfig(HighHot)
+	cfg.Tables = 2
+	cfg.Batches = 2
+	d := mustDataset(t, cfg)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := st.Batch(1, 1)
+	if len(tb.Offsets) != cfg.BatchSize+1 {
+		t.Fatalf("offsets len = %d", len(tb.Offsets))
+	}
+}
