@@ -1,0 +1,29 @@
+# Build / verify entry points. `make verify` is the tier-1 gate plus the
+# race detector; CI should run exactly that.
+
+GO ?= go
+
+.PHONY: build test race bench golden verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency gate: the deterministic parallel runner, the engine
+# cell fan-out, and the scheduler all run under the race detector. Must
+# pass clean — a data race here would void the byte-identical-output
+# guarantee dlrmbench -workers rests on.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Regenerate the golden headline quantities after a DELIBERATE change to
+# simulator arithmetic (review the diff — this is the regression baseline).
+golden:
+	$(GO) test ./internal/exp -run TestGoldenRegression -update
+
+verify: build test race

@@ -9,7 +9,10 @@
 package main
 
 import (
+	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	"dlrmsim/internal/core"
 	"dlrmsim/internal/dlrm"
@@ -70,6 +73,71 @@ func BenchmarkExt5Quantization(b *testing.B)    { runExperiment(b, "ext5") }
 func BenchmarkExt6ModelFamilies(b *testing.B)   { runExperiment(b, "ext6") }
 func BenchmarkExt7CrossValidation(b *testing.B) { runExperiment(b, "ext7") }
 func BenchmarkExt8DynamicBatching(b *testing.B) { runExperiment(b, "ext8") }
+
+// --- parallel-runner benches --------------------------------------------
+
+// sweepIDs is a representative slice of the evaluation grid: the dense
+// scheme matrices whose cells the parallel runner overlaps.
+var sweepIDs = []string{"fig12", "fig13", "fig14", "fig15", "tab4"}
+
+// BenchmarkSweepSequential times the slice on the strictly sequential
+// runner path (dlrmbench -workers 1).
+func BenchmarkSweepSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunAll(context.Background(), benchContext(), sweepIDs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel times the same slice on a full GOMAXPROCS pool
+// and reports the wall-clock speedup over the sequential runner as a
+// custom metric. The output tables are byte-identical either way (see
+// internal/exp/runner_test.go); only the wall-clock moves, and only as
+// far as the host's core count allows (parallel-x ≈ 1.0 on one CPU).
+func BenchmarkSweepParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := exp.RunAll(context.Background(), benchContext(), sweepIDs, 1); err != nil {
+			b.Fatal(err)
+		}
+		seq += time.Since(t0)
+		t0 = time.Now()
+		if _, err := exp.RunAll(context.Background(), benchContext(), sweepIDs, workers); err != nil {
+			b.Fatal(err)
+		}
+		par += time.Since(t0)
+	}
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "parallel-x")
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkEngineCells times the engine-level fan-out primitive on a
+// scheme × hotness grid, sequential vs pooled.
+func BenchmarkEngineCells(b *testing.B) {
+	var cells []core.Options
+	for _, s := range []core.Scheme{core.Baseline, core.SWPF, core.MPHT, core.Integrated} {
+		for _, h := range []trace.Hotness{trace.HighHot, trace.MediumHot, trace.LowHot} {
+			cells = append(cells, benchOptions(s, h))
+		}
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers1", 1}, {"workersAll", runtime.GOMAXPROCS(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunCells(context.Background(), cells, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- headline-metric benches -------------------------------------------
 // These report the reproduction's key ratios as custom metrics.

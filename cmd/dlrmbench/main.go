@@ -6,16 +6,25 @@
 //	dlrmbench -exp all                 # every artifact, quick scale
 //	dlrmbench -exp fig13,fig15         # selected artifacts
 //	dlrmbench -exp tab4 -scale 1       # paper-scale model (slow)
+//	dlrmbench -exp all -workers 1      # sequential (default: all CPUs)
 //	dlrmbench -list                    # list experiment IDs
 //
 // -scale divides model dimensions (tables, lookups, rows, MLP widths);
 // speedup ratios are stable under scaling, absolute milliseconds are not.
+//
+// -workers fans the sweep's design points out over a goroutine pool. The
+// tables are byte-identical for every worker count (every design point is
+// a pure function of its options and results are collected in experiment
+// order); -workers 1 runs strictly sequentially on one goroutine and
+// prints per-experiment timing as each artifact finishes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,9 +40,10 @@ func main() {
 		batches   = flag.Int("batches", 1, "measured batches per core")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		bwIters   = flag.Int("bwiters", 2, "DRAM bandwidth fixed-point iterations")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (1 = sequential)")
 		format    = flag.String("format", "text", "output format: text | csv")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
-		quietTime = flag.Bool("notime", false, "suppress per-experiment timing")
+		quietTime = flag.Bool("notime", false, "suppress timing output")
 	)
 	flag.Parse()
 
@@ -61,28 +71,50 @@ func main() {
 		fmt.Printf("dlrmbench: scale=1/%d batch=%d batches=%d seed=%d\n\n",
 			x.Cfg.Scale, x.Cfg.BatchSize, x.Cfg.Batches, x.Cfg.Seed)
 	}
-	for _, id := range ids {
-		e, err := exp.Get(strings.TrimSpace(id))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		start := time.Now()
-		tbl, err := e.Run(x)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dlrmbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		render := tbl.Render
+	render := func(tbl *exp.Table) {
+		r := tbl.Render
 		if *format == "csv" {
-			render = tbl.RenderCSV
+			r = tbl.RenderCSV
 		}
-		if err := render(os.Stdout); err != nil {
+		if err := r(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
-		}
-		if !*quietTime && *format == "text" {
-			fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
 	}
+	ctx := context.Background()
+	if *workers == 1 {
+		// Sequential path: render and time each artifact as it completes.
+		for _, id := range ids {
+			start := time.Now()
+			tables, err := exp.RunAll(ctx, x, []string{id}, 1)
+			if err != nil {
+				fail(err)
+			}
+			render(tables[0])
+			if !*quietTime && *format == "text" {
+				fmt.Printf("(%s completed in %.1fs)\n\n", tables[0].ID, time.Since(start).Seconds())
+			}
+		}
+		return
+	}
+	start := time.Now()
+	tables, err := exp.RunAll(ctx, x, ids, *workers)
+	if err != nil {
+		fail(err)
+	}
+	for _, tbl := range tables {
+		render(tbl)
+	}
+	if !*quietTime && *format == "text" {
+		fmt.Printf("(%d experiments completed in %.1fs with %d workers)\n",
+			len(tables), time.Since(start).Seconds(), *workers)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlrmbench:", err)
+	if strings.Contains(err.Error(), "unknown experiment") {
+		os.Exit(2)
+	}
+	os.Exit(1)
 }

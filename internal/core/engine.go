@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dlrmsim/internal/cpusim"
 	"dlrmsim/internal/dlrm"
 	"dlrmsim/internal/embedding"
 	"dlrmsim/internal/memsim"
 	"dlrmsim/internal/platform"
+	"dlrmsim/internal/stats"
 	"dlrmsim/internal/trace"
 )
 
@@ -126,8 +130,23 @@ func bufBase(core, instance int) memsim.Addr {
 	return memsim.Addr(1)<<33 + memsim.Addr(core*2+instance)*batchRegion
 }
 
-// Run executes one design point and reports its metrics.
+// Run executes one design point and reports its metrics. A run is a pure
+// function of its options: every random stream inside (model parameters,
+// trace synthesis) is derived statelessly from Options.Seed, so equal
+// options produce bit-identical reports regardless of what else runs
+// concurrently.
 func Run(opts Options) (Report, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: a dead context makes the engine
+// return ctx.Err() at the next checkpoint (before setup, after trace
+// synthesis, before simulation) instead of completing the design point.
+// Parallel sweeps use this so one failing cell cancels the rest.
+func RunContext(ctx context.Context, opts Options) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	if err := opts.applyDefaults(); err != nil {
 		return Report{}, err
 	}
@@ -156,6 +175,9 @@ func Run(opts Options) (Report, error) {
 			return Report{}, err
 		}
 		provider = ds
+	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
 	}
 
 	mem := opts.CPU.Mem
@@ -250,6 +272,9 @@ func Run(opts Options) (Report, error) {
 		}
 		work[c] = cpusim.CoreWork{Phases: phases}
 	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 
 	res := sys.Run(work)
 
@@ -299,4 +324,64 @@ func (r Report) Speedup(base Report) float64 {
 		return 0
 	}
 	return base.BatchLatencyCycles / r.BatchLatencyCycles
+}
+
+// RunCells executes independent design points over a pool of workers and
+// returns the reports index-aligned with cells. workers <= 0 uses
+// GOMAXPROCS. A cell whose Seed is zero gets a per-cell seed split from
+// its index (stats.SplitSeed(1, i)) — the derivation depends only on the
+// cell's position, never on worker count or scheduling, so the reports
+// are identical for every worker count, including 1. The first failing
+// cell cancels the remainder; the lowest-index error is returned.
+func RunCells(ctx context.Context, cells []Options, workers int) ([]Report, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seeded := func(i int) Options {
+		c := cells[i]
+		if c.Seed == 0 {
+			c.Seed = stats.SplitSeed(1, uint64(i))
+		}
+		return c
+	}
+	reps := make([]Report, len(cells))
+	if workers == 1 || len(cells) < 2 {
+		for i := range cells {
+			rep, err := RunContext(ctx, seeded(i))
+			if err != nil {
+				return nil, fmt.Errorf("cell %d: %w", i, err)
+			}
+			reps[i] = rep
+		}
+		return reps, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			reps[i], errs[i] = RunContext(ctx, seeded(i))
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cell %d: %w", i, err)
+		}
+	}
+	return reps, nil
 }

@@ -26,16 +26,21 @@ func runFig1(x *Context) (*Table, error) {
 		Headers: []string{"model", "embedding", "bottom-MLP", "inter+top-MLP", "emb% (paper)"},
 	}
 	paperEmb := map[string]string{"rm2_1": "98%", "rm2_2": "96%", "rm2_3": "95%", "rm1": "65%"}
-	for _, base := range dlrm.Zoo() {
-		rep, err := x.Run(core.Options{
+	cells := make([]core.Options, len(dlrm.Zoo()))
+	for i, base := range dlrm.Zoo() {
+		cells[i] = core.Options{
 			Model:   x.Cfg.model(base),
 			Hotness: trace.MediumHot,
 			Scheme:  core.Baseline,
 			Cores:   x.Cfg.multiCores(platform.CascadeLake()),
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, base := range dlrm.Zoo() {
+		rep := reps[i]
 		emb := rep.StageCycles[core.StageEmbedding]
 		bot := rep.StageCycles[core.StageBottom]
 		top := rep.StageCycles[core.StageTop]
@@ -155,18 +160,25 @@ func runFig8(x *Context) (*Table, error) {
 	model := x.Cfg.model(dlrm.RM2Small())
 	cpu := platform.CascadeLake()
 	max := x.Cfg.multiCores(cpu)
-	var base float64
+	var counts []int
+	var cells []core.Options
 	for _, n := range []int{1, 2, 4, 8, 16, 24} {
 		if n > max {
 			break
 		}
-		rep, err := x.Run(core.Options{
+		counts = append(counts, n)
+		cells = append(cells, core.Options{
 			Model: model, Hotness: trace.MediumHot, Scheme: core.Baseline,
 			Cores: n, EmbeddingOnly: true,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	var base float64
+	for i, n := range counts {
+		rep := reps[i]
 		if base == 0 {
 			base = rep.BatchLatencyCycles
 		}

@@ -5,11 +5,13 @@
 package exp
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"dlrmsim/internal/core"
 	"dlrmsim/internal/dlrm"
@@ -68,18 +70,45 @@ func (c Config) model(base dlrm.Config) dlrm.Config { return base.Scaled(c.Scale
 
 // Context carries the config plus a memo of engine runs, since several
 // experiments share design points (e.g. the multi-core baseline).
+//
+// A Context is safe for concurrent use: concurrent Run calls for the same
+// design point share one computation (the losers wait on the winner's
+// memo cell rather than re-simulating), and when the context is armed
+// with a worker pool (WithParallelism, done by RunAll) each computation
+// occupies one pool slot, bounding total engine concurrency.
 type Context struct {
-	Cfg  Config
-	memo map[string]core.Report
+	Cfg Config
+
+	mu   sync.Mutex
+	memo map[string]*memoCell
+
+	// ctx cancels in-flight and queued design points; sem, when non-nil,
+	// bounds how many engine simulations run at once. Both are configured
+	// by WithParallelism; the zero state is sequential and uncancellable,
+	// exactly the pre-runner behavior.
+	ctx context.Context
+	sem chan struct{}
+}
+
+// memoCell is the memo entry for one design point. once ensures a single
+// computation even when several goroutines request the cell together.
+type memoCell struct {
+	once sync.Once
+	rep  core.Report
+	err  error
 }
 
 // NewContext returns a run context with defaults applied.
 func NewContext(cfg Config) *Context {
-	return &Context{Cfg: cfg.withDefaults(), memo: map[string]core.Report{}}
+	return &Context{
+		Cfg:  cfg.withDefaults(),
+		memo: map[string]*memoCell{},
+		ctx:  context.Background(),
+	}
 }
 
-// Run executes (or recalls) one engine design point.
-func (x *Context) Run(opts core.Options) (core.Report, error) {
+// complete fills unset option fields from the run config.
+func (x *Context) complete(opts core.Options) core.Options {
 	if opts.BatchSize == 0 {
 		opts.BatchSize = x.Cfg.BatchSize
 	}
@@ -92,18 +121,32 @@ func (x *Context) Run(opts core.Options) (core.Report, error) {
 	if opts.BandwidthIterations == 0 {
 		opts.BandwidthIterations = x.Cfg.BandwidthIterations
 	}
-	key := fmt.Sprintf("%s|%v|%s|%v|%v|%d|%d|%d|%v|%v|%d",
+	return opts
+}
+
+func cellKey(opts core.Options) string {
+	return fmt.Sprintf("%s|%v|%s|%v|%v|%d|%d|%d|%v|%v|%d",
 		opts.Model.Name, opts.Model.EmbDType, opts.CPU.Name, opts.Hotness, opts.Scheme,
 		opts.BatchSize, opts.Batches, opts.Cores, opts.Prefetch, opts.EmbeddingOnly, opts.Seed)
-	if rep, ok := x.memo[key]; ok {
-		return rep, nil
+}
+
+// Run executes (or recalls) one engine design point.
+func (x *Context) Run(opts core.Options) (core.Report, error) {
+	opts = x.complete(opts)
+	key := cellKey(opts)
+	x.mu.Lock()
+	cell, ok := x.memo[key]
+	if !ok {
+		cell = &memoCell{}
+		x.memo[key] = cell
 	}
-	rep, err := core.Run(opts)
-	if err != nil {
-		return core.Report{}, err
-	}
-	x.memo[key] = rep
-	return rep, nil
+	x.mu.Unlock()
+	cell.once.Do(func() {
+		release := x.acquire()
+		defer release()
+		cell.rep, cell.err = core.RunContext(x.ctx, opts)
+	})
+	return cell.rep, cell.err
 }
 
 // Table is a rendered experiment result.

@@ -27,30 +27,33 @@ func runExt1(x *Context) (*Table, error) {
 	}
 	model := x.Cfg.model(dlrm.RM2Small())
 	cores := x.Cfg.multiCores(platform.CascadeLake())
-	base, err := x.Run(core.Options{
-		Model: model, Hotness: trace.LowHot, Scheme: core.Baseline,
-		Cores: cores, EmbeddingOnly: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("baseline (none)", f2(base.BatchLatencyMs), "1.00x", pct(base.L1HitRate), f1(base.AvgLoadLatency))
-	for _, h := range []struct {
+	hints := []struct {
 		name string
 		kind memsim.AccessKind
 	}{
 		{"_MM_HINT_T0 (L1D)", memsim.KindPrefetchL1},
 		{"_MM_HINT_T1 (L2)", memsim.KindPrefetchL2},
 		{"_MM_HINT_T2 (LLC)", memsim.KindPrefetchL3},
-	} {
-		rep, err := x.Run(core.Options{
+	}
+	cells := []core.Options{{
+		Model: model, Hotness: trace.LowHot, Scheme: core.Baseline,
+		Cores: cores, EmbeddingOnly: true,
+	}}
+	for _, h := range hints {
+		cells = append(cells, core.Options{
 			Model: model, Hotness: trace.LowHot, Scheme: core.SWPF, Cores: cores,
 			Prefetch:      embedding.PrefetchConfig{Dist: 4, Blocks: 8, Hint: h.kind},
 			EmbeddingOnly: true,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	base := reps[0]
+	t.AddRow("baseline (none)", f2(base.BatchLatencyMs), "1.00x", pct(base.L1HitRate), f1(base.AvgLoadLatency))
+	for i, h := range hints {
+		rep := reps[i+1]
 		t.AddRow(h.name, f2(rep.BatchLatencyMs), spd(base.BatchLatencyCycles/rep.BatchLatencyCycles),
 			pct(rep.L1HitRate), f1(rep.AvgLoadLatency))
 	}
@@ -68,24 +71,29 @@ func runExt2(x *Context) (*Table, error) {
 	}
 	model := x.Cfg.model(dlrm.RM2Small())
 	cores := x.Cfg.multiCores(platform.CascadeLake())
+	var sizes []int
+	var cells []core.Options
 	for _, bs := range []int{8, 16, 32, 64, 128} {
 		if bs > 4*x.Cfg.BatchSize { // keep quick runs quick
 			break
 		}
-		base, err := x.Run(core.Options{
-			Model: model, Hotness: trace.MediumHot, Scheme: core.Baseline,
-			Cores: cores, BatchSize: bs,
-		})
-		if err != nil {
-			return nil, err
-		}
-		integ, err := x.Run(core.Options{
-			Model: model, Hotness: trace.MediumHot, Scheme: core.Integrated,
-			Cores: cores, BatchSize: bs,
-		})
-		if err != nil {
-			return nil, err
-		}
+		sizes = append(sizes, bs)
+		cells = append(cells,
+			core.Options{
+				Model: model, Hotness: trace.MediumHot, Scheme: core.Baseline,
+				Cores: cores, BatchSize: bs,
+			},
+			core.Options{
+				Model: model, Hotness: trace.MediumHot, Scheme: core.Integrated,
+				Cores: cores, BatchSize: bs,
+			})
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, bs := range sizes {
+		base, integ := reps[2*i], reps[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", bs), f2(base.BatchLatencyMs), f2(integ.BatchLatencyMs),
 			spd(integ.Speedup(base)))
 	}

@@ -22,29 +22,26 @@ func runExt6(x *Context) (*Table, error) {
 		Headers: []string{"family", "baseline (ms)", "emb share", "SW-PF", "Integrated"},
 	}
 	cores := x.Cfg.multiCores(platform.CascadeLake())
-	for _, kind := range []dlrm.InteractionKind{dlrm.DotInteraction, dlrm.CrossInteraction, dlrm.ConcatInteraction} {
+	kinds := []dlrm.InteractionKind{dlrm.DotInteraction, dlrm.CrossInteraction, dlrm.ConcatInteraction}
+	schemes := []core.Scheme{core.Baseline, core.SWPF, core.Integrated}
+	var cells []core.Options
+	for _, kind := range kinds {
 		model := x.Cfg.model(dlrm.RM2Small())
 		model.Interaction = kind
 		model.Name = model.Name + "/" + kind.String()
-		base, err := x.Run(core.Options{
-			Model: model, Hotness: trace.MediumHot, Scheme: core.Baseline, Cores: cores,
-		})
-		if err != nil {
-			return nil, err
+		for _, s := range schemes {
+			cells = append(cells, core.Options{
+				Model: model, Hotness: trace.MediumHot, Scheme: s, Cores: cores,
+			})
 		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range kinds {
+		base, swpf, integ := reps[3*i], reps[3*i+1], reps[3*i+2]
 		embShare := base.StageCycles[core.StageEmbedding] / base.BatchLatencyCycles
-		swpf, err := x.Run(core.Options{
-			Model: model, Hotness: trace.MediumHot, Scheme: core.SWPF, Cores: cores,
-		})
-		if err != nil {
-			return nil, err
-		}
-		integ, err := x.Run(core.Options{
-			Model: model, Hotness: trace.MediumHot, Scheme: core.Integrated, Cores: cores,
-		})
-		if err != nil {
-			return nil, err
-		}
 		t.AddRow(kind.String(), f2(base.BatchLatencyMs), pct(embShare),
 			spd(swpf.Speedup(base)), spd(integ.Speedup(base)))
 	}

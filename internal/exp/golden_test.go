@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"dlrmsim/internal/core"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/serve"
+	"dlrmsim/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current simulator")
+
+// golden pins the reproduction's headline quantities at a small fixed
+// configuration (scale 20, batch 8, 2 cores, seed 1). Any refactor that
+// silently changes simulator arithmetic — engine, memory hierarchy, trace
+// synthesis, serving — trips this file even when the coarser shape tests
+// still pass. Regenerate deliberately with:
+//
+//	go test ./internal/exp -run TestGolden -update
+type golden struct {
+	// IntegratedSpeedup maps "model|hotness" to the Integrated scheme's
+	// end-to-end speedup over baseline (multi-core).
+	IntegratedSpeedup map[string]float64 `json:"integrated_speedup"`
+	// BatchingP99Ms is the dynamic batcher's p99 query latency under the
+	// fixed reference load.
+	BatchingP99Ms float64 `json:"batching_p99_ms"`
+	// BatchingMeanBatch is the batcher's mean formed batch size there.
+	BatchingMeanBatch float64 `json:"batching_mean_batch"`
+}
+
+// goldenBatchingConfig is the fixed reference load for the serving-layer
+// quantities.
+func goldenBatchingConfig() serve.BatchingConfig {
+	return serve.BatchingConfig{
+		Cores:             4,
+		MeanArrivalMs:     0.5,
+		MaxBatch:          64,
+		MaxWaitMs:         5,
+		ServiceBaseMs:     1,
+		ServicePerQueryMs: 0.05,
+		Queries:           20000,
+		Seed:              1,
+	}
+}
+
+func computeGolden(t *testing.T) golden {
+	t.Helper()
+	g := golden{IntegratedSpeedup: map[string]float64{}}
+	x := tinyContext().WithParallelism(context.Background(), 0)
+	var keys []string
+	var cells []core.Options
+	for _, base := range dlrm.Zoo() {
+		model := x.Cfg.model(base)
+		for _, h := range trace.ProductionHotness {
+			keys = append(keys, base.Name+"|"+h.String())
+			cells = append(cells,
+				core.Options{Model: model, Hotness: h, Scheme: core.Baseline, Cores: 2},
+				core.Options{Model: model, Hotness: h, Scheme: core.Integrated, Cores: 2})
+		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		g.IntegratedSpeedup[k] = reps[2*i+1].Speedup(reps[2*i])
+	}
+	res, err := serve.SimulateBatching(goldenBatchingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BatchingP99Ms = res.P99
+	g.BatchingMeanBatch = res.MeanBatchSize
+	return g
+}
+
+const goldenPath = "testdata/golden.json"
+
+// TestGoldenRegression recomputes the pinned quantities at the golden
+// seed and compares them to testdata/golden.json within 1e-9.
+func TestGoldenRegression(t *testing.T) {
+	got := computeGolden(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want golden
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-9
+	close := func(a, b float64) bool {
+		return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b))
+	}
+	var wantKeys []string
+	for k := range want.IntegratedSpeedup {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	if len(got.IntegratedSpeedup) != len(wantKeys) {
+		t.Errorf("golden has %d speedup cells, computed %d", len(wantKeys), len(got.IntegratedSpeedup))
+	}
+	for _, k := range wantKeys {
+		g, ok := got.IntegratedSpeedup[k]
+		if !ok {
+			t.Errorf("cell %q missing from computed results", k)
+			continue
+		}
+		if !close(g, want.IntegratedSpeedup[k]) {
+			t.Errorf("Integrated speedup[%s] = %.12g, golden %.12g", k, g, want.IntegratedSpeedup[k])
+		}
+	}
+	if !close(got.BatchingP99Ms, want.BatchingP99Ms) {
+		t.Errorf("batching p99 = %.12g ms, golden %.12g ms", got.BatchingP99Ms, want.BatchingP99Ms)
+	}
+	if !close(got.BatchingMeanBatch, want.BatchingMeanBatch) {
+		t.Errorf("batching mean batch = %.12g, golden %.12g", got.BatchingMeanBatch, want.BatchingMeanBatch)
+	}
+}

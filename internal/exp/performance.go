@@ -15,43 +15,53 @@ func init() {
 	register(Experiment{ID: "tab4", Title: "Embedding-only batch times (ms), multi-core", Run: runTable4})
 }
 
+// coreLabel names a core count in the single/multi convention the paper's
+// figures use.
+func coreLabel(n int) string {
+	if n == 1 {
+		return "single"
+	}
+	return "multi"
+}
+
 // runFig12 reproduces Fig. 12: embedding-only speedups of w/o HW-PF and
 // SW-PF over baseline, for the three RMC2 models × three datasets ×
-// {single, multi}-core.
+// {single, multi}-core. The grid is submitted as one cell batch so the
+// parallel runner can overlap the design points.
 func runFig12(x *Context) (*Table, error) {
 	t := &Table{
 		ID: "fig12", Title: "Embedding-stage speedup vs baseline",
 		Headers: []string{"model", "dataset", "cores", "w/o HW-PF", "SW-PF"},
 	}
 	cores := x.Cfg.multiCores(platform.CascadeLake())
+	schemes := []core.Scheme{core.Baseline, core.NoHWPF, core.SWPF}
+	type combo struct {
+		model string
+		h     trace.Hotness
+		cores string
+	}
+	var combos []combo
+	var cells []core.Options
 	for _, base := range dlrm.EmbeddingHeavy() {
 		model := x.Cfg.model(base)
 		for _, h := range trace.ProductionHotness {
 			for _, n := range []int{1, cores} {
-				run := func(s core.Scheme) (core.Report, error) {
-					return x.Run(core.Options{
+				combos = append(combos, combo{base.Name, h, coreLabel(n)})
+				for _, s := range schemes {
+					cells = append(cells, core.Options{
 						Model: model, Hotness: h, Scheme: s, Cores: n, EmbeddingOnly: true,
 					})
 				}
-				bl, err := run(core.Baseline)
-				if err != nil {
-					return nil, err
-				}
-				nopf, err := run(core.NoHWPF)
-				if err != nil {
-					return nil, err
-				}
-				swpf, err := run(core.SWPF)
-				if err != nil {
-					return nil, err
-				}
-				label := "multi"
-				if n == 1 {
-					label = "single"
-				}
-				t.AddRow(base.Name, h.String(), label, spd(nopf.Speedup(bl)), spd(swpf.Speedup(bl)))
 			}
 		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range combos {
+		bl, nopf, swpf := reps[3*i], reps[3*i+1], reps[3*i+2]
+		t.AddRow(c.model, c.h.String(), c.cores, spd(nopf.Speedup(bl)), spd(swpf.Speedup(bl)))
 	}
 	t.AddNote("paper: SW-PF gives 1.25x–1.47x single-core and 1.16x–1.43x multi-core; w/o HW-PF is ~1x (slightly better on High Hot)")
 	return t, nil
@@ -65,28 +75,32 @@ func schemesTable(x *Context, id, title string, base dlrm.Config, note string) (
 	}
 	model := x.Cfg.model(base)
 	cores := x.Cfg.multiCores(platform.CascadeLake())
+	schemes := []core.Scheme{core.Baseline, core.NoHWPF, core.SWPF, core.DPHT, core.MPHT, core.Integrated}
+	type combo struct {
+		h     trace.Hotness
+		cores string
+	}
+	var combos []combo
+	var cells []core.Options
 	for _, h := range trace.ProductionHotness {
 		for _, n := range []int{1, cores} {
-			run := func(s core.Scheme) (core.Report, error) {
-				return x.Run(core.Options{Model: model, Hotness: h, Scheme: s, Cores: n})
+			combos = append(combos, combo{h, coreLabel(n)})
+			for _, s := range schemes {
+				cells = append(cells, core.Options{Model: model, Hotness: h, Scheme: s, Cores: n})
 			}
-			bl, err := run(core.Baseline)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{h.String(), "single"}
-			if n != 1 {
-				row[1] = "multi"
-			}
-			for _, s := range []core.Scheme{core.NoHWPF, core.SWPF, core.DPHT, core.MPHT, core.Integrated} {
-				rep, err := run(s)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, spd(rep.Speedup(bl)))
-			}
-			t.AddRow(row...)
 		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range combos {
+		bl := reps[len(schemes)*i]
+		row := []string{c.h.String(), c.cores}
+		for j := 1; j < len(schemes); j++ {
+			row = append(row, spd(reps[len(schemes)*i+j].Speedup(bl)))
+		}
+		t.AddRow(row...)
 	}
 	t.AddNote("%s", note)
 	return t, nil
@@ -98,13 +112,11 @@ func runFig13(x *Context) (*Table, error) {
 		ID: "fig13", Title: "End-to-end speedup vs baseline (embedding-heavy)",
 		Headers: []string{"model", "dataset", "cores", "w/o HW-PF", "SW-PF", "DP-HT", "MP-HT", "Integrated"},
 	}
-	cores := x.Cfg.multiCores(platform.CascadeLake())
 	for _, base := range dlrm.EmbeddingHeavy() {
 		sub, err := schemesTable(x, "fig13", "", base, "")
 		if err != nil {
 			return nil, err
 		}
-		_ = cores
 		for _, row := range sub.Rows {
 			t.AddRow(append([]string{base.Name}, row...)...)
 		}
@@ -128,15 +140,25 @@ func runFig15(x *Context) (*Table, error) {
 		Headers: []string{"model", "design", "L1D hit", "avg load lat (cyc)"},
 	}
 	cores := x.Cfg.multiCores(platform.CascadeLake())
+	schemes := []core.Scheme{core.Baseline, core.SWPF, core.Integrated}
+	var cells []core.Options
 	for _, base := range dlrm.EmbeddingHeavy() {
 		model := x.Cfg.model(base)
-		for _, s := range []core.Scheme{core.Baseline, core.SWPF, core.Integrated} {
-			rep, err := x.Run(core.Options{
+		for _, s := range schemes {
+			cells = append(cells, core.Options{
 				Model: model, Hotness: trace.LowHot, Scheme: s, Cores: cores,
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, base := range dlrm.EmbeddingHeavy() {
+		for _, s := range schemes {
+			rep := reps[i]
+			i++
 			t.AddRow(base.Name, s.String(), pct(rep.L1HitRate), f1(rep.AvgLoadLatency))
 		}
 	}
@@ -152,18 +174,29 @@ func runTable4(x *Context) (*Table, error) {
 		Headers: []string{"dataset", "model", "HW-PF OFF", "baseline", "SW-PF"},
 	}
 	cores := x.Cfg.multiCores(platform.CascadeLake())
+	schemes := []core.Scheme{core.NoHWPF, core.Baseline, core.SWPF}
+	var cells []core.Options
 	for _, h := range []trace.Hotness{trace.LowHot, trace.MediumHot, trace.HighHot} {
 		for _, base := range dlrm.Zoo() {
 			model := x.Cfg.model(base)
-			row := []string{h.String(), base.Name}
-			for _, s := range []core.Scheme{core.NoHWPF, core.Baseline, core.SWPF} {
-				rep, err := x.Run(core.Options{
+			for _, s := range schemes {
+				cells = append(cells, core.Options{
 					Model: model, Hotness: h, Scheme: s, Cores: cores, EmbeddingOnly: true,
 				})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f2(rep.BatchLatencyMs))
+			}
+		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, h := range []trace.Hotness{trace.LowHot, trace.MediumHot, trace.HighHot} {
+		for _, base := range dlrm.Zoo() {
+			row := []string{h.String(), base.Name}
+			for range schemes {
+				row = append(row, f2(reps[i].BatchLatencyMs))
+				i++
 			}
 			t.AddRow(row...)
 		}

@@ -20,35 +20,43 @@ func runFig16(x *Context) (*Table, error) {
 		ID: "fig16", Title: "Cross-platform speedups (Low Hot, platform-tuned prefetch)",
 		Headers: []string{"CPU", "model", "cores", "SW-PF", "MP-HT", "Integrated"},
 	}
+	schemes := []core.Scheme{core.Baseline, core.SWPF, core.MPHT, core.Integrated}
+	type combo struct {
+		cpu   string
+		model string
+		cores string
+	}
+	var combos []combo
+	var cells []core.Options
 	for _, cpu := range platform.All() {
 		for _, base := range []dlrm.Config{dlrm.RM2Small(), dlrm.RM1()} {
 			model := x.Cfg.model(base)
 			for _, n := range []int{1, x.Cfg.multiCores(cpu)} {
-				run := func(s core.Scheme) (core.Report, error) {
-					return x.Run(core.Options{
-						Model: model, CPU: cpu, Hotness: trace.LowHot,
-						Scheme: s, Cores: n,
-					})
-				}
-				bl, err := run(core.Baseline)
-				if err != nil {
-					return nil, err
-				}
 				label := "multi"
 				if n == 1 {
 					label = "single"
 				}
-				row := []string{cpu.Name, base.Name, label}
-				for _, s := range []core.Scheme{core.SWPF, core.MPHT, core.Integrated} {
-					rep, err := run(s)
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, spd(rep.Speedup(bl)))
+				combos = append(combos, combo{cpu.Name, base.Name, label})
+				for _, s := range schemes {
+					cells = append(cells, core.Options{
+						Model: model, CPU: cpu, Hotness: trace.LowHot,
+						Scheme: s, Cores: n,
+					})
 				}
-				t.AddRow(row...)
 			}
 		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range combos {
+		bl := reps[len(schemes)*i]
+		row := []string{c.cpu, c.model, c.cores}
+		for j := 1; j < len(schemes); j++ {
+			row = append(row, spd(reps[len(schemes)*i+j].Speedup(bl)))
+		}
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: improvements hold on every platform; multi-core speedups trail single-core (shared-resource interference); wide-window parts (ICL/SPR) see smaller SW-PF gains")
 	return t, nil

@@ -38,19 +38,20 @@ func runFig10a(x *Context) (*Table, error) {
 		{"untuned indirect PF (dist 64, 1 line)", core.SWPF, embedding.PrefetchConfig{Dist: 64, Blocks: 1}},
 		{"Algorithm 3 (tuned SW-PF)", core.SWPF, embedding.PrefetchConfig{Dist: 4, Blocks: 8}},
 	}
-	var base float64
-	for _, v := range variants {
-		rep, err := x.Run(core.Options{
+	cells := make([]core.Options, len(variants))
+	for i, v := range variants {
+		cells[i] = core.Options{
 			Model: model, Hotness: trace.LowHot, Scheme: v.scheme,
 			Cores: cores, Prefetch: v.pf, EmbeddingOnly: true,
-		})
-		if err != nil {
-			return nil, err
 		}
-		if base == 0 {
-			base = rep.BatchLatencyCycles
-		}
-		t.AddRow(v.name, f2(rep.BatchLatencyMs), spd(base/rep.BatchLatencyCycles))
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	base := reps[0].BatchLatencyCycles
+	for i, v := range variants {
+		t.AddRow(v.name, f2(reps[i].BatchLatencyMs), spd(base/reps[i].BatchLatencyCycles))
 	}
 	t.AddNote("paper: off-the-shelf techniques show limited benefit or slight degradation; only application-aware prefetching helps")
 	return t, nil
@@ -64,24 +65,27 @@ func runFig10b(x *Context) (*Table, error) {
 	}
 	model := x.Cfg.model(dlrm.RM2Small())
 	cores := x.Cfg.multiCores(platform.CascadeLake())
-	baseRep, err := x.Run(core.Options{
+	dists := []int{1, 2, 4, 8, 16, 32}
+	cells := []core.Options{{
 		Model: model, Hotness: trace.LowHot, Scheme: core.Baseline,
 		Cores: cores, EmbeddingOnly: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("baseline", f2(baseRep.BatchLatencyMs), "1.00x", pct(baseRep.L1HitRate))
-	bestDist, bestLat := 0, baseRep.BatchLatencyCycles
-	for _, d := range []int{1, 2, 4, 8, 16, 32} {
-		rep, err := x.Run(core.Options{
+	}}
+	for _, d := range dists {
+		cells = append(cells, core.Options{
 			Model: model, Hotness: trace.LowHot, Scheme: core.SWPF,
 			Cores: cores, Prefetch: embedding.PrefetchConfig{Dist: d, Blocks: 8},
 			EmbeddingOnly: true,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	baseRep := reps[0]
+	t.AddRow("baseline", f2(baseRep.BatchLatencyMs), "1.00x", pct(baseRep.L1HitRate))
+	bestDist, bestLat := 0, baseRep.BatchLatencyCycles
+	for i, d := range dists {
+		rep := reps[i+1]
 		t.AddRow(fmt.Sprintf("%d", d), f2(rep.BatchLatencyMs),
 			spd(baseRep.BatchLatencyCycles/rep.BatchLatencyCycles), pct(rep.L1HitRate))
 		if rep.BatchLatencyCycles < bestLat {
@@ -101,23 +105,26 @@ func runFig10c(x *Context) (*Table, error) {
 	}
 	model := x.Cfg.model(dlrm.RM2Small())
 	cores := x.Cfg.multiCores(platform.CascadeLake())
-	baseRep, err := x.Run(core.Options{
+	blocks := []int{1, 2, 4, 8}
+	cells := []core.Options{{
 		Model: model, Hotness: trace.LowHot, Scheme: core.Baseline,
 		Cores: cores, EmbeddingOnly: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("baseline", pct(baseRep.L1HitRate), f1(baseRep.AvgLoadLatency), f2(baseRep.BatchLatencyMs))
-	for _, b := range []int{1, 2, 4, 8} {
-		rep, err := x.Run(core.Options{
+	}}
+	for _, b := range blocks {
+		cells = append(cells, core.Options{
 			Model: model, Hotness: trace.LowHot, Scheme: core.SWPF,
 			Cores: cores, Prefetch: embedding.PrefetchConfig{Dist: 4, Blocks: b},
 			EmbeddingOnly: true,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	baseRep := reps[0]
+	t.AddRow("baseline", pct(baseRep.L1HitRate), f1(baseRep.AvgLoadLatency), f2(baseRep.BatchLatencyMs))
+	for i, b := range blocks {
+		rep := reps[i+1]
 		t.AddRow(fmt.Sprintf("%d", b), pct(rep.L1HitRate), f1(rep.AvgLoadLatency), f2(rep.BatchLatencyMs))
 	}
 	t.AddNote("paper: prefetching the complete 8-line vector maximizes hit rate and minimizes latency on CSL")

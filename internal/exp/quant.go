@@ -23,32 +23,29 @@ func runExt5(x *Context) (*Table, error) {
 		Headers: []string{"dtype", "row lines", "baseline (ms)", "SW-PF", "Integrated", "DRAM MB/batch"},
 	}
 	cores := x.Cfg.multiCores(platform.CascadeLake())
-	for _, d := range []embedding.DType{embedding.F32, embedding.F16, embedding.Int8} {
+	dtypes := []embedding.DType{embedding.F32, embedding.F16, embedding.Int8}
+	schemes := []core.Scheme{core.Baseline, core.SWPF, core.Integrated}
+	var cells []core.Options
+	for _, d := range dtypes {
 		model := x.Cfg.model(dlrm.RM2Small())
 		model.EmbDType = d
+		for _, s := range schemes {
+			cells = append(cells, core.Options{
+				Model: model, Hotness: trace.LowHot, Scheme: s, Cores: cores,
+			})
+		}
+	}
+	reps, err := x.RunMany(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range dtypes {
+		model := x.Cfg.model(dlrm.RM2Small())
 		rowLines := embedding.NewTypedTable(0, 1, model.EmbDim, 0, d).RowLines()
-		base, err := x.Run(core.Options{
-			Model: model, Hotness: trace.LowHot, Scheme: core.Baseline, Cores: cores,
-		})
-		if err != nil {
-			return nil, err
-		}
-		swpf, err := x.Run(core.Options{
-			Model: model, Hotness: trace.LowHot, Scheme: core.SWPF, Cores: cores,
-		})
-		if err != nil {
-			return nil, err
-		}
-		integ, err := x.Run(core.Options{
-			Model: model, Hotness: trace.LowHot, Scheme: core.Integrated, Cores: cores,
-		})
-		if err != nil {
-			return nil, err
-		}
+		base, swpf, integ := reps[3*i], reps[3*i+1], reps[3*i+2]
 		t.AddRow(d.String(), f1(float64(rowLines)), f2(base.BatchLatencyMs),
 			spd(swpf.Speedup(base)), spd(integ.Speedup(base)),
 			f1(float64(base.DRAMBytes)/1e6/float64(cores)))
-		_ = rowLines
 	}
 	t.AddNote("quantization attacks the same bottleneck from the data side: smaller rows mean fewer misses per lookup, so baselines speed up and prefetching's relative win narrows but persists")
 	return t, nil

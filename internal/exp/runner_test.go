@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// renderBoth returns the text and CSV renderings of a table.
+func renderBoth(t *testing.T, tbl *Table) (text, csv []byte) {
+	t.Helper()
+	var tb, cb bytes.Buffer
+	if err := tbl.Render(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.RenderCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), cb.Bytes()
+}
+
+// TestParallelMatchesSequential is the runner's determinism contract: for
+// every registered experiment, the table produced by the parallel runner
+// (8 workers, cells and experiments racing freely) renders byte-identical
+// — text and CSV — to the strictly sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	ids := IDs()
+	seq, err := RunAll(context.Background(), tinyContext(), ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(context.Background(), tinyContext(), ids, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sequential produced %d tables, parallel %d", len(seq), len(par))
+	}
+	for i, id := range ids {
+		i := i
+		t.Run(id, func(t *testing.T) {
+			st, sc := renderBoth(t, seq[i])
+			pt, pc := renderBoth(t, par[i])
+			if !bytes.Equal(st, pt) {
+				t.Errorf("text render differs between -workers 1 and -workers 8:\n--- sequential ---\n%s--- parallel ---\n%s", st, pt)
+			}
+			if !bytes.Equal(sc, pc) {
+				t.Errorf("CSV render differs between -workers 1 and -workers 8:\n--- sequential ---\n%s--- parallel ---\n%s", sc, pc)
+			}
+		})
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		if _, err := RunAll(context.Background(), tinyContext(), []string{"fig1", "fig99"}, workers); err == nil {
+			t.Errorf("workers=%d: accepted unknown experiment", workers)
+		}
+	}
+}
+
+// TestRunAllCancellation: a dead context aborts the sweep instead of
+// running (or hanging on) the remaining cells.
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := RunAll(ctx, tinyContext(), []string{"fig1", "fig4"}, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestRunManyOrdering: reports come back aligned with the submitted cells
+// and match individually executed runs.
+func TestRunManyOrdering(t *testing.T) {
+	x := tinyContext().WithParallelism(context.Background(), 4)
+	e, err := Get("fig10b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-running on a fresh sequential context must reproduce the table.
+	y := tinyContext()
+	tbl2, err := e.Run(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, ac := renderBoth(t, tbl)
+	bt, bc := renderBoth(t, tbl2)
+	if !bytes.Equal(at, bt) || !bytes.Equal(ac, bc) {
+		t.Error("parallel context table differs from fresh sequential context")
+	}
+}

@@ -45,13 +45,17 @@ func runFig17(x *Context) (*Table, error) {
 		if x.Cfg.Scale > 1 {
 			sla = 4 * bl.BatchLatencyMs
 		}
-		for _, s := range []core.Scheme{core.Baseline, core.SWPF, core.MPHT, core.Integrated} {
-			rep, err := x.Run(core.Options{
-				Model: model, Hotness: trace.LowHot, Scheme: s, Cores: cores,
-			})
-			if err != nil {
-				return nil, err
-			}
+		schemes := []core.Scheme{core.Baseline, core.SWPF, core.MPHT, core.Integrated}
+		cells := make([]core.Options, len(schemes))
+		for i, s := range schemes {
+			cells[i] = core.Options{Model: model, Hotness: trace.LowHot, Scheme: s, Cores: cores}
+		}
+		reps, err := x.RunMany(cells)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range schemes {
+			rep := reps[i]
 			points, err := serve.SweepArrival(serve.Config{
 				Cores:      cores,
 				ServiceMs:  rep.BatchLatencyMs,

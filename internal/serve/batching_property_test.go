@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"testing"
+
+	"dlrmsim/internal/stats"
+)
+
+// randBatchingConfig draws a valid batching config from the case RNG.
+// Every case gets its own seed split from the suite seed, so cases are
+// decorrelated and the suite is reproducible.
+func randBatchingConfig(rng *stats.RNG, caseSeed uint64) BatchingConfig {
+	return BatchingConfig{
+		Cores:             1 + rng.Intn(8),
+		MeanArrivalMs:     0.02 + 3*rng.Float64(),
+		MaxBatch:          1 + rng.Intn(128),
+		MaxWaitMs:         0.1 + 10*rng.Float64(),
+		ServiceBaseMs:     2 * rng.Float64(),
+		ServicePerQueryMs: 0.005 + 0.3*rng.Float64(),
+		Queries:           2000,
+		Seed:              caseSeed,
+	}
+}
+
+// TestBatchingInvariants property-checks the dynamic batcher across
+// randomized configurations: percentiles are ordered, formed batches
+// respect MaxBatch, and no query finishes faster than the service-time
+// floor of a singleton batch.
+func TestBatchingInvariants(t *testing.T) {
+	rng := stats.NewRNG(0xB47C)
+	const eps = 1e-9
+	for i := 0; i < 100; i++ {
+		cfg := randBatchingConfig(rng, stats.SplitSeed(0xB47C, uint64(i)))
+		res, err := SimulateBatching(cfg)
+		if err != nil {
+			t.Fatalf("case %d (%+v): %v", i, cfg, err)
+		}
+		if res.Batches <= 0 || res.ThroughputQPS <= 0 {
+			t.Fatalf("case %d: no work done: %+v", i, res)
+		}
+		if res.P50 > res.P95+eps || res.P95 > res.P99+eps {
+			t.Errorf("case %d: percentiles out of order: P50=%g P95=%g P99=%g (%+v)",
+				i, res.P50, res.P95, res.P99, cfg)
+		}
+		if res.Mean > res.P99+eps {
+			t.Errorf("case %d: mean %g above P99 %g", i, res.Mean, res.P99)
+		}
+		if res.MeanBatchSize < 1-eps || res.MeanBatchSize > float64(cfg.MaxBatch)+eps {
+			t.Errorf("case %d: mean batch size %g outside [1, MaxBatch=%d]",
+				i, res.MeanBatchSize, cfg.MaxBatch)
+		}
+		// Every latency includes the service of a batch with >= 1 query.
+		floor := cfg.ServiceBaseMs + cfg.ServicePerQueryMs
+		if res.P50 < floor-eps || res.Mean < floor-eps {
+			t.Errorf("case %d: latency below service floor %g ms: P50=%g mean=%g",
+				i, floor, res.P50, res.Mean)
+		}
+	}
+}
+
+// TestBatchingDeterminism: equal configs give bit-equal results — the
+// batcher is a pure function of its config, which the parallel runner's
+// determinism guarantee relies on for serving-layer experiments.
+func TestBatchingDeterminism(t *testing.T) {
+	rng := stats.NewRNG(7)
+	cfg := randBatchingConfig(rng, 42)
+	a, err := SimulateBatching(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateBatching(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same config, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSimulateInvariants property-checks the request-level queueing
+// simulator: ordered percentiles and, without jitter, a hard service-time
+// floor under every latency.
+func TestSimulateInvariants(t *testing.T) {
+	rng := stats.NewRNG(0x51A7E)
+	const eps = 1e-9
+	for i := 0; i < 100; i++ {
+		cfg := Config{
+			Cores:         1 + rng.Intn(16),
+			MeanArrivalMs: 0.05 + 4*rng.Float64(),
+			ServiceMs:     0.1 + 20*rng.Float64(),
+			Requests:      1500,
+			Seed:          stats.SplitSeed(0x51A7E, uint64(i)),
+		}
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("case %d (%+v): %v", i, cfg, err)
+		}
+		if res.P50 > res.P95+eps || res.P95 > res.P99+eps {
+			t.Errorf("case %d: percentiles out of order: P50=%g P95=%g P99=%g (%+v)",
+				i, res.P50, res.P95, res.P99, cfg)
+		}
+		if res.P50 < cfg.ServiceMs-eps {
+			t.Errorf("case %d: P50 %g below deterministic service time %g",
+				i, res.P50, cfg.ServiceMs)
+		}
+		if res.Utilization <= 0 {
+			t.Errorf("case %d: utilization %g", i, res.Utilization)
+		}
+		if res.MaxQueueWaitMs < 0 {
+			t.Errorf("case %d: negative max queue wait %g", i, res.MaxQueueWaitMs)
+		}
+	}
+}
