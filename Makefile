@@ -3,10 +3,13 @@
 
 GO ?= go
 
-.PHONY: build test race bench golden verify
+.PHONY: build vet test race bench golden verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -26,4 +29,4 @@ bench:
 golden:
 	$(GO) test ./internal/exp -run TestGoldenRegression -update
 
-verify: build test race
+verify: build vet test race

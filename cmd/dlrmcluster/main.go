@@ -1,0 +1,164 @@
+// Command dlrmcluster simulates a sharded multi-node DLRM serving fleet:
+// per-node service costs come from the single-node timing simulator, and
+// the cluster tier (internal/cluster) models sharding, router fan-out
+// over a configurable network, and hot-row replication.
+//
+// Usage:
+//
+//	dlrmcluster -model rm2_1 -nodes 8 -policy rowrange -hotness high
+//	dlrmcluster -scheme integrated -replicate 0,0.01,0.05 -netlat 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dlrmsim/internal/cluster"
+	"dlrmsim/internal/core"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/platform"
+	"dlrmsim/internal/trace"
+)
+
+func main() {
+	var (
+		modelName  = flag.String("model", "rm2_1", "rm1 | rm2_1 | rm2_2 | rm2_3")
+		scale      = flag.Int("scale", 8, "model scale-down divisor")
+		hotness    = flag.String("hotness", "high", "high | medium | low")
+		schemeName = flag.String("scheme", "baseline", "per-node design point: baseline | swpf | mpht | integrated")
+		nodes      = flag.Int("nodes", 8, "cluster size")
+		policyName = flag.String("policy", "rowrange", "sharding policy: tablewise | rowrange")
+		replicate  = flag.String("replicate", "0,0.001,0.01,0.05,0.2", "comma-separated hot-row replication fractions to sweep")
+		batch      = flag.Int("batch", 8, "samples per query batch (also the engine batch size)")
+		servers    = flag.Int("servers", 2, "concurrent servers per node")
+		cores      = flag.Int("cores", 0, "engine cores for the timing run (0 = all platform cores)")
+		arrival    = flag.Float64("arrival", 0, "mean query inter-arrival time in ms (0 = derive from -util)")
+		util       = flag.Float64("util", 0.55, "target per-node utilization when -arrival is 0")
+		netLat     = flag.Float64("netlat", 0.05, "one-way network latency per message (ms)")
+		netBW      = flag.Float64("netbw", 10, "per-link network bandwidth (GB/s)")
+		queries    = flag.Int("queries", 4000, "queries to simulate per sweep point")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	base, err := dlrm.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := parseHotness(*hotness)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := core.ParseScheme(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := cluster.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	fractions, err := parseFractions(*replicate)
+	if err != nil {
+		fatal(err)
+	}
+	cpu := platform.CascadeLake()
+	n := cpu.Cores
+	if *cores > 0 && *cores <= cpu.Cores {
+		n = *cores
+	}
+	model := base.Scaled(*scale)
+
+	// One memoizable engine run sets the per-node service model.
+	rep, err := core.Run(core.Options{Model: model, Hotness: h, Scheme: scheme, Cores: n, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	lookups := *batch * model.Tables * model.LookupsPerSample
+	tm := cluster.TimingFromReport(rep, cpu, lookups)
+
+	plan, err := cluster.NewPlan(model, *nodes, policy, 0, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := cluster.Config{
+		Plan:            plan,
+		Hotness:         h,
+		SamplesPerQuery: *batch,
+		Timing:          tm,
+		Net:             cluster.Network{LatencyMs: *netLat, BandwidthGBs: *netBW},
+		ServersPerNode:  *servers,
+		MeanArrivalMs:   *arrival,
+		JitterFrac:      0.08,
+		Queries:         *queries,
+		Seed:            *seed,
+	}
+	if cfg.MeanArrivalMs <= 0 {
+		cfg.MeanArrivalMs = cluster.ArrivalForUtilization(plan, tm, *batch, *servers, *util)
+	}
+
+	fmt.Printf("dlrmcluster: %s (scale 1/%d), %v, %s per-node design\n",
+		base.Name, *scale, h, scheme)
+	fmt.Printf("%d nodes, %s sharding: %.1f MB/node shard (%.1f MB total embeddings)\n",
+		plan.Nodes, plan.Policy, float64(plan.MaxShardBytes())/1e6, float64(plan.TotalBytes())/1e6)
+	fmt.Printf("service: %.3f µs/cold lookup, %.3f µs/hot lookup, dense %.3f ms; network %.3g ms + %g GB/s\n",
+		tm.ColdLookupUs, tm.HotLookupUs, tm.DenseMs, *netLat, *netBW)
+	fmt.Printf("load: %d-sample queries every %.4f ms (mean), %d servers/node, %d queries\n\n",
+		*batch, cfg.MeanArrivalMs, *servers, *queries)
+
+	points, err := cluster.SweepReplication(cfg, fractions)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %-9s %-14s %-8s %-8s %9s %9s %9s %6s\n",
+		"replicate", "hot rows", "replica MB/nd", "local %", "fan-out", "p50 (ms)", "p95 (ms)", "p99 (ms)", "util")
+	for _, p := range points {
+		hotRows := 0
+		if p.Fraction > 0 {
+			hp, err := cluster.NewPlan(model, *nodes, policy, p.Fraction, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			hotRows = hp.HotRows
+		}
+		r := p.Result
+		fmt.Printf("%-10.3f %-9d %-14.2f %-8.1f %-8.2f %9.3f %9.3f %9.3f %5.1f%%\n",
+			p.Fraction, hotRows, float64(r.ReplicaBytesPerNode)/1e6, 100*r.LocalFraction,
+			r.MeanFanout, r.P50, r.P95, r.P99, 100*r.Utilization)
+	}
+	fmt.Printf("\nreplicating the hottest rows trades per-node replica memory for tail latency:\nhot lookups short-circuit the fan-out and are served cache-resident at the query's home node\n")
+}
+
+func parseFractions(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad replication fraction %q", part)
+		}
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("replication fraction %g out of [0,1]", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseHotness(s string) (trace.Hotness, error) {
+	switch s {
+	case "high":
+		return trace.HighHot, nil
+	case "medium", "med":
+		return trace.MediumHot, nil
+	case "low":
+		return trace.LowHot, nil
+	}
+	return 0, fmt.Errorf("unknown hotness %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlrmcluster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"dlrmsim/internal/serve"
+	"dlrmsim/internal/stats"
+	"dlrmsim/internal/trace"
+)
+
+// wireHeaderBytes is the fixed per-message framing overhead charged on
+// each network transfer (RPC envelope, offsets metadata).
+const wireHeaderBytes = 64
+
+// Config describes one cluster serving simulation.
+type Config struct {
+	// Plan is the sharding/replication placement (NewPlan).
+	Plan *Plan
+	// Hotness selects the access-concentration class of the query
+	// stream, matching internal/trace's calibrated classes.
+	Hotness trace.Hotness
+	// SamplesPerQuery is the number of samples per query batch (each
+	// sample performs Model.LookupsPerSample lookups in every table).
+	SamplesPerQuery int
+	// Timing is the per-node service model (TimingFromReport or explicit).
+	Timing Timing
+	// Net is the router↔node hop cost (zero value = free network;
+	// DefaultNetwork gives datacenter-Ethernet defaults).
+	Net Network
+	// ServersPerNode is each node's concurrent server count (default 1) —
+	// the cores the node dedicates to sub-request service.
+	ServersPerNode int
+	// MeanArrivalMs is the mean inter-arrival time of the Poisson query
+	// load at the router.
+	MeanArrivalMs float64
+	// JitterFrac multiplies each sub-request's service time by
+	// exp(J·N(0,1)), as in internal/serve. 0 disables jitter.
+	JitterFrac float64
+	// Queries is the number of queries to simulate (default 2000).
+	Queries int
+	// WarmupQueries are excluded from the percentiles (default 5%).
+	WarmupQueries int
+	// Seed drives arrivals, lookups, and jitter; every stream is derived
+	// statelessly from it via stats.SplitSeed.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Plan == nil {
+		return fmt.Errorf("cluster: nil plan")
+	}
+	if c.SamplesPerQuery < 1 {
+		return fmt.Errorf("cluster: %d samples per query", c.SamplesPerQuery)
+	}
+	if c.MeanArrivalMs <= 0 {
+		return fmt.Errorf("cluster: non-positive mean arrival %g", c.MeanArrivalMs)
+	}
+	if c.Timing.ColdLookupUs <= 0 {
+		return fmt.Errorf("cluster: non-positive cold lookup cost %g", c.Timing.ColdLookupUs)
+	}
+	if c.ServersPerNode == 0 {
+		c.ServersPerNode = 1
+	}
+	if c.ServersPerNode < 1 {
+		return fmt.Errorf("cluster: %d servers per node", c.ServersPerNode)
+	}
+	if c.Queries == 0 {
+		c.Queries = 2000
+	}
+	if c.Queries < 1 {
+		return fmt.Errorf("cluster: %d queries", c.Queries)
+	}
+	if c.WarmupQueries == 0 {
+		c.WarmupQueries = c.Queries / 20
+	}
+	if c.WarmupQueries >= c.Queries {
+		return fmt.Errorf("cluster: warmup %d >= queries %d", c.WarmupQueries, c.Queries)
+	}
+	return nil
+}
+
+// Result summarizes one cluster run.
+type Result struct {
+	// P50, P95, P99, Mean are end-to-end query latencies in ms (network
+	// hops + queueing + service + join + dense stages), post-warmup.
+	P50, P95, P99, Mean float64
+	// MeanFanout is the mean number of nodes a query touches.
+	MeanFanout float64
+	// LocalFraction is the fraction of lookups served from replicated
+	// hot rows (short-circuiting the shard fan-out).
+	LocalFraction float64
+	// MaxQueueWaitMs is the worst sub-request queueing delay observed.
+	MaxQueueWaitMs float64
+	// Utilization is total node busy time over total node capacity.
+	Utilization float64
+	// Imbalance is the busiest node's service time over the mean — 1.0
+	// is perfectly balanced.
+	Imbalance float64
+	// ReplicaBytesPerNode and MaxShardBytes restate the plan's memory
+	// accounting so latency/memory tradeoff curves come from one struct.
+	ReplicaBytesPerNode int64
+	MaxShardBytes       int64
+}
+
+// Simulate runs the discrete-event cluster simulation: Poisson query
+// arrivals at the router; each query is split by the plan into per-shard
+// sub-lookups (replicated hot rows short-circuit to the query's home
+// node), fanned out with a network hop each way, served FCFS per node,
+// and joined on the slowest sub-request, after which the dense stages
+// are charged at the router.
+//
+// Queries are dispatched in arrival order; the per-query lookup ranks,
+// the arrival stream, and each (query, node) jitter draw are all pure
+// functions of (Seed, index) via stats.SplitSeed, so the result is a
+// pure function of the config.
+func Simulate(cfg Config) (Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return Result{}, err
+	}
+	plan := cfg.Plan
+	model := plan.Model
+	queues := make([]*serve.Queue, plan.Nodes)
+	for n := range queues {
+		queues[n] = serve.NewQueue(cfg.ServersPerNode)
+	}
+	arrivals := stats.NewRNG(stats.SplitSeed(cfg.Seed^0xA221, 0))
+
+	cold := make([]int, plan.Nodes) // per-node shard-owned lookups of the current query
+	latencies := make([]float64, 0, cfg.Queries-cfg.WarmupQueries)
+	var now, maxWait, simEnd float64
+	var fanoutSum, hotLookups, totalLookups int
+
+	draws := cfg.SamplesPerQuery * model.LookupsPerSample
+	for q := 0; q < cfg.Queries; q++ {
+		now += arrivals.ExpFloat64() * cfg.MeanArrivalMs
+		home := q % plan.Nodes
+		for n := range cold {
+			cold[n] = 0
+		}
+		hot := 0
+		for t := 0; t < model.Tables; t++ {
+			rng := stats.NewRNG(stats.SplitSeed(cfg.Seed^0x100C, uint64(q*model.Tables+t)))
+			var rank func() int
+			switch cfg.Hotness {
+			case trace.OneItem:
+				rank = func() int { return 0 }
+			case trace.RandomAccess:
+				rank = func() int { return rng.Intn(model.RowsPerTable) }
+			default:
+				z := stats.NewZipf(rng, model.RowsPerTable, cfg.Hotness.ReferenceExponent())
+				rank = z.Sample
+			}
+			for l := 0; l < draws; l++ {
+				r := rank()
+				if plan.Replicated(r) {
+					hot++
+				} else {
+					cold[plan.Owner(t, plan.rowOfRank(t, r))]++
+				}
+			}
+		}
+
+		// Fan out: one sub-request per involved node, FCFS at the node,
+		// network hop + message transfer each way. The join completes at
+		// the slowest sub-request's return.
+		joined := now
+		fanout := 0
+		for n := 0; n < plan.Nodes; n++ {
+			served := cold[n]
+			svcUs := cfg.Timing.SubRequestUs + cfg.Timing.ColdLookupUs*float64(cold[n])
+			if n == home && hot > 0 {
+				served += hot
+				svcUs += cfg.Timing.HotLookupUs * float64(hot)
+			}
+			if served == 0 {
+				continue
+			}
+			fanout++
+			svc := svcUs / 1e3
+			if cfg.JitterFrac > 0 {
+				j := stats.NewRNG(stats.SplitSeed(cfg.Seed^0x717E2, uint64(q*plan.Nodes+n)))
+				svc *= math.Exp(cfg.JitterFrac * j.NormFloat64())
+			}
+			reqBytes := int64(4*served) + wireHeaderBytes
+			arrive := now + cfg.Net.LatencyMs + cfg.Net.TransferMs(reqBytes)
+			start, done := queues[n].Submit(arrive, svc)
+			if w := start - arrive; w > maxWait {
+				maxWait = w
+			}
+			// The response carries partial pooled sums: one EmbDim vector
+			// per (sample, table) slice served, fp32 on the wire.
+			pooled := (served + model.LookupsPerSample - 1) / model.LookupsPerSample
+			respBytes := int64(pooled)*int64(model.EmbDim)*4 + wireHeaderBytes
+			back := done + cfg.Net.LatencyMs + cfg.Net.TransferMs(respBytes)
+			if back > joined {
+				joined = back
+			}
+		}
+		finish := joined + cfg.Timing.DenseMs
+		if finish > simEnd {
+			simEnd = finish
+		}
+		if q < cfg.WarmupQueries {
+			continue
+		}
+		latencies = append(latencies, finish-now)
+		fanoutSum += fanout
+		hotLookups += hot
+		totalLookups += hot
+		for _, c := range cold {
+			totalLookups += c
+		}
+	}
+
+	res := Result{
+		P50:                 stats.Percentile(latencies, 0.50),
+		P95:                 stats.Percentile(latencies, 0.95),
+		P99:                 stats.Percentile(latencies, 0.99),
+		Mean:                stats.Mean(latencies),
+		MeanFanout:          float64(fanoutSum) / float64(len(latencies)),
+		MaxQueueWaitMs:      maxWait,
+		ReplicaBytesPerNode: plan.ReplicaBytesPerNode(),
+		MaxShardBytes:       plan.MaxShardBytes(),
+	}
+	if totalLookups > 0 {
+		res.LocalFraction = float64(hotLookups) / float64(totalLookups)
+	}
+	var busySum, busyMax float64
+	for _, qu := range queues {
+		b := qu.BusyMs()
+		busySum += b
+		if b > busyMax {
+			busyMax = b
+		}
+	}
+	if simEnd > 0 {
+		res.Utilization = busySum / (simEnd * float64(plan.Nodes*cfg.ServersPerNode))
+	}
+	if busySum > 0 {
+		res.Imbalance = busyMax / (busySum / float64(plan.Nodes))
+	}
+	return res, nil
+}
+
+// ReplicationPoint is one replication fraction's result.
+type ReplicationPoint struct {
+	Fraction float64
+	Result   Result
+}
+
+// SweepReplication reruns the simulation across replication fractions,
+// holding everything else (including the offered load and every random
+// stream) fixed — the replication-memory vs tail-latency curve. The
+// sweep rebuilds the plan per point from cfg.Plan's model, nodes, and
+// policy.
+func SweepReplication(cfg Config, fractions []float64) ([]ReplicationPoint, error) {
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("cluster: empty replication sweep")
+	}
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("cluster: nil plan")
+	}
+	out := make([]ReplicationPoint, 0, len(fractions))
+	for _, f := range fractions {
+		plan, err := NewPlan(cfg.Plan.Model, cfg.Plan.Nodes, cfg.Plan.Policy, f, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Plan = plan
+		r, err := Simulate(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ReplicationPoint{Fraction: f, Result: r})
+	}
+	return out, nil
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"testing"
 
+	"dlrmsim/internal/cluster"
 	"dlrmsim/internal/core"
 	"dlrmsim/internal/dlrm"
 	"dlrmsim/internal/serve"
@@ -34,6 +36,33 @@ type golden struct {
 	BatchingP99Ms float64 `json:"batching_p99_ms"`
 	// BatchingMeanBatch is the batcher's mean formed batch size there.
 	BatchingMeanBatch float64 `json:"batching_mean_batch"`
+	// ClusterP95Ms maps "hotness|f=frac" to the cluster tier's p95 under
+	// a fixed synthetic service model (goldenClusterConfig), pinning the
+	// sharding/router/replication arithmetic independently of the engine.
+	ClusterP95Ms map[string]float64 `json:"cluster_p95_ms"`
+}
+
+// goldenClusterConfig is the fixed reference cluster for the pinned p95
+// quantities: 4 nodes, row-range sharding, explicit timing (no engine
+// dependence), at the tiny model scale.
+func goldenClusterConfig(t *testing.T, model dlrm.Config, h trace.Hotness, frac float64) cluster.Config {
+	t.Helper()
+	plan, err := cluster.NewPlan(model, 4, cluster.RowRange, frac, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster.Config{
+		Plan:            plan,
+		Hotness:         h,
+		SamplesPerQuery: 8,
+		Timing:          cluster.Timing{ColdLookupUs: 2, HotLookupUs: 0.1, SubRequestUs: 5, DenseMs: 0.05},
+		Net:             cluster.DefaultNetwork(),
+		ServersPerNode:  2,
+		MeanArrivalMs:   0.15,
+		JitterFrac:      0.08,
+		Queries:         1500,
+		Seed:            1,
+	}
 }
 
 // goldenBatchingConfig is the fixed reference load for the serving-layer
@@ -79,6 +108,17 @@ func computeGolden(t *testing.T) golden {
 	}
 	g.BatchingP99Ms = res.P99
 	g.BatchingMeanBatch = res.MeanBatchSize
+	g.ClusterP95Ms = map[string]float64{}
+	cmodel := x.Cfg.model(dlrm.RM2Small())
+	for _, h := range []trace.Hotness{trace.HighHot, trace.LowHot} {
+		for _, frac := range []float64{0, 0.05} {
+			cres, err := cluster.Simulate(goldenClusterConfig(t, cmodel, h, frac))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.ClusterP95Ms[fmt.Sprintf("%s|f=%.2f", h, frac)] = cres.P95
+		}
+	}
 	return g
 }
 
@@ -137,5 +177,23 @@ func TestGoldenRegression(t *testing.T) {
 	}
 	if !close(got.BatchingMeanBatch, want.BatchingMeanBatch) {
 		t.Errorf("batching mean batch = %.12g, golden %.12g", got.BatchingMeanBatch, want.BatchingMeanBatch)
+	}
+	if len(got.ClusterP95Ms) != len(want.ClusterP95Ms) {
+		t.Errorf("golden has %d cluster cells, computed %d", len(want.ClusterP95Ms), len(got.ClusterP95Ms))
+	}
+	var clusterKeys []string
+	for k := range want.ClusterP95Ms {
+		clusterKeys = append(clusterKeys, k)
+	}
+	sort.Strings(clusterKeys)
+	for _, k := range clusterKeys {
+		g, ok := got.ClusterP95Ms[k]
+		if !ok {
+			t.Errorf("cluster cell %q missing from computed results", k)
+			continue
+		}
+		if !close(g, want.ClusterP95Ms[k]) {
+			t.Errorf("cluster p95[%s] = %.12g ms, golden %.12g ms", k, g, want.ClusterP95Ms[k])
+		}
 	}
 }

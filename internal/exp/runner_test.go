@@ -5,6 +5,11 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
+
+	"dlrmsim/internal/core"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/trace"
 )
 
 // renderBoth returns the text and CSV renderings of a table.
@@ -69,6 +74,32 @@ func TestRunAllCancellation(t *testing.T) {
 		_, err := RunAll(ctx, tinyContext(), []string{"fig1", "fig4"}, workers)
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestRunManyCancellation: a context cancelled before (or during) a batch
+// makes RunMany return promptly with the context error instead of
+// simulating the remaining cells — the cluster sweeps and the CLI rely on
+// this to abort multi-cell batches.
+func TestRunManyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		x := tinyContext().WithParallelism(ctx, workers)
+		var cells []core.Options
+		for _, s := range []core.Scheme{core.Baseline, core.SWPF, core.MPHT, core.Integrated} {
+			cells = append(cells, core.Options{
+				Model: x.Cfg.model(dlrm.RM2Small()), Hotness: trace.LowHot, Scheme: s, Cores: 2,
+			})
+		}
+		start := time.Now()
+		_, err := x.RunMany(cells)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("workers=%d: cancelled RunMany took %v", workers, elapsed)
 		}
 	}
 }

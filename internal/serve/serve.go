@@ -78,6 +78,52 @@ type Result struct {
 // MeetsSLA reports whether the p95 latency is within the target.
 func (r Result) MeetsSLA(targetMs float64) bool { return r.P95 <= targetMs }
 
+// Queue is the earliest-free-server FCFS discipline at the heart of
+// Simulate, exported so other simulators reuse the same service model —
+// internal/cluster runs one Queue per shard node. Submissions must be
+// made in dispatch order; each Submit claims the earliest-free of the
+// queue's servers.
+type Queue struct {
+	free []float64
+	busy float64
+}
+
+// NewQueue returns an empty FCFS queue with the given server count. It
+// panics if servers < 1, which indicates a programming error.
+func NewQueue(servers int) *Queue {
+	if servers < 1 {
+		panic(fmt.Sprintf("serve: NewQueue with %d servers", servers))
+	}
+	return &Queue{free: make([]float64, servers)}
+}
+
+// Submit enqueues one request arriving at the given time with the given
+// service duration and returns when it starts and completes. The request
+// starts on the earliest-free server, no earlier than its arrival.
+func (q *Queue) Submit(arrival, service float64) (start, done float64) {
+	best := 0
+	for s := 1; s < len(q.free); s++ {
+		if q.free[s] < q.free[best] {
+			best = s
+		}
+	}
+	start = arrival
+	if q.free[best] > start {
+		start = q.free[best]
+	}
+	done = start + service
+	q.free[best] = done
+	q.busy += service
+	return start, done
+}
+
+// Servers returns the queue's server count.
+func (q *Queue) Servers() int { return len(q.free) }
+
+// BusyMs returns the total service time submitted so far — the
+// numerator of a utilization estimate.
+func (q *Queue) BusyMs() float64 { return q.busy }
+
 // Simulate runs the M/D/c-style queueing simulation (deterministic or
 // jittered service, Poisson arrivals, FCFS, c servers).
 func Simulate(cfg Config) (Result, error) {
@@ -85,29 +131,17 @@ func Simulate(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	rng := stats.NewRNG(cfg.Seed ^ 0x5E12E)
-	// Server free times; linear scan is fine for realistic core counts.
-	free := make([]float64, cfg.Cores)
+	queue := NewQueue(cfg.Cores)
 	latencies := make([]float64, 0, cfg.Requests-cfg.WarmupRequests)
 	var now, maxWait float64
 	slaOK := 0
 	for i := 0; i < cfg.Requests; i++ {
 		now += rng.ExpFloat64() * cfg.MeanArrivalMs
-		// Earliest-free server.
-		best := 0
-		for s := 1; s < len(free); s++ {
-			if free[s] < free[best] {
-				best = s
-			}
-		}
-		start := now
-		if free[best] > start {
-			start = free[best]
-		}
 		service := cfg.ServiceMs
 		if cfg.JitterFrac > 0 {
 			service *= math.Exp(cfg.JitterFrac * rng.NormFloat64())
 		}
-		free[best] = start + service
+		start, _ := queue.Submit(now, service)
 		if i < cfg.WarmupRequests {
 			continue
 		}

@@ -123,6 +123,84 @@ func TestJitterWidensTail(t *testing.T) {
 	}
 }
 
+// TestJitterDeterministic: jitter draws come from the seeded RNG, so a
+// jittered run is exactly as reproducible as a deterministic one — the
+// property the exp runner's byte-identical -workers guarantee needs.
+func TestJitterDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	cfg.JitterFrac = 0.25
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("jittered simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed++
+	c, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different seed produced identical jittered result")
+	}
+}
+
+// TestMeetsSLABoundary: compliance is inclusive — a p95 exactly on the
+// target counts as meeting the SLA.
+func TestMeetsSLABoundary(t *testing.T) {
+	r := Result{P95: 12.5}
+	if !r.MeetsSLA(12.5) {
+		t.Error("p95 exactly at target should comply")
+	}
+	if !r.MeetsSLA(13) {
+		t.Error("p95 below target should comply")
+	}
+	if r.MeetsSLA(12.499999) {
+		t.Error("p95 above target should not comply")
+	}
+}
+
+// TestQueueFCFS pins the exported Queue's discipline: earliest-free
+// server, start no earlier than arrival, busy accounting additive.
+func TestQueueFCFS(t *testing.T) {
+	q := NewQueue(2)
+	if q.Servers() != 2 {
+		t.Fatalf("Servers() = %d", q.Servers())
+	}
+	// Two arrivals at t=0 take both servers; the third queues behind the
+	// earlier finisher.
+	if start, done := q.Submit(0, 10); start != 0 || done != 10 {
+		t.Fatalf("first: start %g done %g", start, done)
+	}
+	if start, done := q.Submit(0, 4); start != 0 || done != 4 {
+		t.Fatalf("second: start %g done %g", start, done)
+	}
+	if start, done := q.Submit(1, 3); start != 4 || done != 7 {
+		t.Fatalf("queued: start %g done %g, want 4, 7", start, done)
+	}
+	// A late arrival to an idle server starts on arrival.
+	if start, _ := q.Submit(20, 1); start != 20 {
+		t.Fatalf("idle arrival started at %g", start)
+	}
+	if q.BusyMs() != 18 {
+		t.Fatalf("BusyMs() = %g, want 18", q.BusyMs())
+	}
+}
+
+func TestNewQueuePanicsOnZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewQueue(0) did not panic")
+		}
+	}()
+	NewQueue(0)
+}
+
 func TestSimulateDeterministic(t *testing.T) {
 	a, err := Simulate(baseConfig())
 	if err != nil {
