@@ -41,6 +41,18 @@ func main() {
 		netBW      = flag.Float64("netbw", 10, "per-link network bandwidth (GB/s)")
 		queries    = flag.Int("queries", 4000, "queries to simulate per sweep point")
 		seed       = flag.Uint64("seed", 1, "random seed")
+
+		slowEvery  = flag.Float64("slowdown-every", 0, "mean ms between per-node slowdown episodes (0 = none)")
+		slowDur    = flag.Float64("slowdown-dur", 0, "mean slowdown episode duration (ms)")
+		slowFactor = flag.Float64("slowdown-factor", 4, "service-time multiplier during a slowdown episode")
+		downEvery  = flag.Float64("down-every", 0, "mean ms between per-node outage windows (0 = none)")
+		downDur    = flag.Float64("down-dur", 0, "mean outage window duration (ms)")
+		dropProb   = flag.Float64("drop", 0, "per-copy transit drop probability in [0,1)")
+		dropDetect = flag.Float64("drop-detect", 0, "transport loss-detection delay in ms (0 = 1 ms default)")
+		timeoutMs  = flag.Float64("timeout", 0, "router per-sub-request timeout in ms (0 = no timeouts)")
+		retries    = flag.Int("retries", 0, "max timeout retries down the standby chain")
+		hedge      = flag.Float64("hedge", 0, "hedged-request delay in ms (0 = no hedging)")
+		degraded   = flag.Bool("degraded", false, "join with partial results at the retry budget's deadline")
 	)
 	flag.Parse()
 
@@ -93,7 +105,22 @@ func main() {
 		MeanArrivalMs:   *arrival,
 		JitterFrac:      0.08,
 		Queries:         *queries,
-		Seed:            *seed,
+		Faults: cluster.FaultModel{
+			SlowdownEveryMs: *slowEvery,
+			SlowdownMeanMs:  *slowDur,
+			SlowdownFactor:  *slowFactor,
+			DownEveryMs:     *downEvery,
+			DownMeanMs:      *downDur,
+			DropProb:        *dropProb,
+			DropDetectMs:    *dropDetect,
+		},
+		Mitigation: cluster.Mitigation{
+			TimeoutMs:    *timeoutMs,
+			MaxRetries:   *retries,
+			HedgeDelayMs: *hedge,
+			DegradedJoin: *degraded,
+		},
+		Seed: *seed,
 	}
 	if cfg.MeanArrivalMs <= 0 {
 		cfg.MeanArrivalMs = cluster.ArrivalForUtilization(plan, tm, *batch, *servers, *util)
@@ -105,15 +132,33 @@ func main() {
 		plan.Nodes, plan.Policy, float64(plan.MaxShardBytes())/1e6, float64(plan.TotalBytes())/1e6)
 	fmt.Printf("service: %.3f µs/cold lookup, %.3f µs/hot lookup, dense %.3f ms; network %.3g ms + %g GB/s\n",
 		tm.ColdLookupUs, tm.HotLookupUs, tm.DenseMs, *netLat, *netBW)
-	fmt.Printf("load: %d-sample queries every %.4f ms (mean), %d servers/node, %d queries\n\n",
+	fmt.Printf("load: %d-sample queries every %.4f ms (mean), %d servers/node, %d queries\n",
 		*batch, cfg.MeanArrivalMs, *servers, *queries)
+	faulted := cfg.Faults.Active()
+	if faulted {
+		fmt.Printf("faults: slowdowns every %g ms (×%g for %g ms), outages every %g ms (%g ms), drop %.1f%%\n",
+			cfg.Faults.SlowdownEveryMs, cfg.Faults.SlowdownFactor, cfg.Faults.SlowdownMeanMs,
+			cfg.Faults.DownEveryMs, cfg.Faults.DownMeanMs, 100*cfg.Faults.DropProb)
+		if cfg.Mitigation.Active() {
+			fmt.Printf("mitigation: timeout %g ms × %d retries, hedge %g ms, degraded joins %v\n",
+				cfg.Mitigation.TimeoutMs, cfg.Mitigation.MaxRetries, cfg.Mitigation.HedgeDelayMs,
+				cfg.Mitigation.DegradedJoin)
+		} else {
+			fmt.Printf("mitigation: none (naive router waits out every fault)\n")
+		}
+	}
+	fmt.Println()
 
 	points, err := cluster.SweepReplication(cfg, fractions)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-10s %-9s %-14s %-8s %-8s %9s %9s %9s %6s\n",
+	fmt.Printf("%-10s %-9s %-14s %-8s %-8s %9s %9s %9s %6s",
 		"replicate", "hot rows", "replica MB/nd", "local %", "fan-out", "p50 (ms)", "p95 (ms)", "p99 (ms)", "util")
+	if faulted {
+		fmt.Printf(" %8s %7s %8s %9s", "avail %", "compl", "hedge %", "retries/q")
+	}
+	fmt.Println()
 	for _, p := range points {
 		hotRows := 0
 		if p.Fraction > 0 {
@@ -124,9 +169,14 @@ func main() {
 			hotRows = hp.HotRows
 		}
 		r := p.Result
-		fmt.Printf("%-10.3f %-9d %-14.2f %-8.1f %-8.2f %9.3f %9.3f %9.3f %5.1f%%\n",
+		fmt.Printf("%-10.3f %-9d %-14.2f %-8.1f %-8.2f %9.3f %9.3f %9.3f %5.1f%%",
 			p.Fraction, hotRows, float64(r.ReplicaBytesPerNode)/1e6, 100*r.LocalFraction,
 			r.MeanFanout, r.P50, r.P95, r.P99, 100*r.Utilization)
+		if faulted {
+			fmt.Printf(" %7.1f%% %7.4f %7.1f%% %9.2f", 100*r.Availability, r.Completeness,
+				100*r.HedgeRate, r.RetriesPerQuery)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("\nreplicating the hottest rows trades per-node replica memory for tail latency:\nhot lookups short-circuit the fan-out and are served cache-resident at the query's home node\n")
 }

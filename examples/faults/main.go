@@ -1,0 +1,103 @@
+// Fault-injection walkthrough: run the same sharded fleet through a
+// deterministic storm of node slowdowns, transient outages, and transit
+// drops, then compare the router's mitigation policies — naive waiting,
+// hedged backups, standby retries, and degraded joins. The point the
+// tail-at-scale literature makes, reproduced in one screen: a policy
+// calibrated to the *healthy* tail routes around sick nodes for a few
+// percent of duplicated work, while the naive router inherits every
+// fault, and degraded joins bound the tail by giving up a measured
+// sliver of the answer.
+//
+// Run with: go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlrmsim/internal/cluster"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/trace"
+)
+
+func main() {
+	const (
+		scale   = 10
+		batch   = 8
+		nodes   = 8
+		servers = 2
+		seed    = 1
+	)
+	model := dlrm.RM2Small().Scaled(scale)
+
+	// A synthetic per-node service model keeps the example self-contained
+	// (the cluster example shows how to derive one from an engine run).
+	tm := cluster.Timing{ColdLookupUs: 2, HotLookupUs: 0.1, SubRequestUs: 5, DenseMs: 0.05}
+
+	plan, err := cluster.NewPlan(model, nodes, cluster.RowRange, 0.01, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := cluster.Config{
+		Plan:            plan,
+		Hotness:         trace.MediumHot,
+		SamplesPerQuery: batch,
+		Timing:          tm,
+		Net:             cluster.DefaultNetwork(),
+		ServersPerNode:  servers,
+		// 30% utilization leaves the headroom a real fleet keeps for
+		// exactly this purpose: absorbing episodes and mitigation copies.
+		MeanArrivalMs: cluster.ArrivalForUtilization(plan, tm, batch, servers, 0.30),
+		JitterFrac:    0.08,
+		Queries:       3000,
+		Seed:          seed,
+	}
+
+	// 1. The healthy fleet sets the calibration reference.
+	clean, err := cluster.Simulate(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy fleet: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n\n", clean.P50, clean.P95, clean.P99)
+
+	// 2. A deterministic storm: rare-but-severe slowdown episodes,
+	// occasional outage windows, 2% transit loss — all pure functions of
+	// the seed, so every policy below faces the identical storm.
+	faults := cluster.FaultModel{
+		SlowdownEveryMs: 200, SlowdownMeanMs: 10, SlowdownFactor: 6,
+		DownEveryMs: 300, DownMeanMs: 4,
+		DropProb: 0.02,
+	}
+
+	// 3. Mitigation deadlines hang off the *clean* tail — a policy tuned
+	// to the faulted distribution fires far too late to help.
+	policies := []struct {
+		name string
+		mit  cluster.Mitigation
+	}{
+		{"naive (wait out every fault)", cluster.Mitigation{}},
+		{"hedge @2x clean p95", cluster.Mitigation{HedgeDelayMs: 2 * clean.P95}},
+		{"retry @2x clean p95, max 3", cluster.Mitigation{TimeoutMs: 2 * clean.P95, MaxRetries: 3}},
+		{"degraded join @4x clean p95", cluster.Mitigation{TimeoutMs: 4 * clean.P95, MaxRetries: 1, DegradedJoin: true}},
+	}
+
+	fmt.Printf("%-30s %9s %9s %8s %9s %8s %7s\n",
+		"policy", "p95 (ms)", "p99 (ms)", "hedge %", "retries/q", "avail %", "compl")
+	for _, p := range policies {
+		cfg := base
+		cfg.Faults = faults
+		cfg.Mitigation = p.mit
+		res, err := cluster.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s %9.3f %9.3f %7.1f%% %9.2f %7.1f%% %7.4f\n",
+			p.name, res.P95, res.P99, 100*res.HedgeRate, res.RetriesPerQuery,
+			100*res.Availability, res.Completeness)
+	}
+
+	fmt.Printf("\nthe naive router inherits every fault; one hedged backup trims the body of the\n" +
+		"tail (p95) but its single standby can be sick too — the retry chain covers the\n" +
+		"deep tail at full completeness; degraded joins bound the worst case by\n" +
+		"abandoning the slowest shard at the deadline\n")
+}

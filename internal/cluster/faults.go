@@ -1,0 +1,274 @@
+package cluster
+
+// The robustness subsystem: a deterministic fault model injected into
+// Simulate (per-node slowdown episodes, transient unavailability windows,
+// sub-request drops) and the router-side mitigation policies that survive
+// it (per-sub-request timeouts with bounded retry to a standby, hedged
+// backups, degraded joins). A perfect fleet is the zero value of both
+// structs, and with both zero the simulation arithmetic is byte-identical
+// to the pre-fault simulator.
+//
+// Substitution statement: real fleets fail through kernel scheduling
+// stalls, GC pauses, deployment restarts, and packet loss; we substitute
+// three seeded processes — exponential on/off slowdown episodes,
+// exponential on/off outage windows (applied to the node's queue via
+// serve.Queue.Unavailable), and an i.i.d. per-copy drop coin. The
+// mitigation side mirrors the standard production toolkit (cf. the
+// tail-at-scale literature and BagPipe's degraded cached lookups): each
+// shard has a standby owner at node (owner+k) mod N that can serve the
+// shard's rows, the router hedges a backup copy after a fixed delay, and
+// a degraded join returns partial pooled sums when the retry budget's
+// deadline passes, trading completeness for bounded tail latency.
+//
+// Every draw is a pure function of (Seed, query, node, attempt) via
+// stats.SplitSeed, and per-node episode timelines are pure functions of
+// (Seed, node), so fault-injected results keep the registry-wide
+// byte-identical-at-any-worker-count determinism property.
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/serve"
+	"dlrmsim/internal/stats"
+)
+
+// FaultModel describes the deterministic fault processes injected into a
+// cluster simulation. The zero value injects nothing.
+type FaultModel struct {
+	// SlowdownEveryMs is the mean interval between per-node slowdown
+	// episodes (exponential gaps; 0 disables slowdowns).
+	SlowdownEveryMs float64
+	// SlowdownMeanMs is the mean duration of one slowdown episode
+	// (exponential durations).
+	SlowdownMeanMs float64
+	// SlowdownFactor multiplies a node's service times while an episode
+	// is active (≥ 1; e.g. 4 models a node at quarter speed).
+	SlowdownFactor float64
+	// DownEveryMs is the mean interval between per-node transient
+	// unavailability windows (exponential gaps; 0 disables outages).
+	// While a window is open the node's servers accept no new work
+	// (serve.Queue.Unavailable); requests arriving mid-window wait it
+	// out unless the router's mitigation gives up on them first.
+	DownEveryMs float64
+	// DownMeanMs is the mean outage duration (exponential durations).
+	DownMeanMs float64
+	// DropProb is the probability each dispatched sub-request copy
+	// (primary, hedge, or retry) is lost in transit, in [0, 1).
+	DropProb float64
+	// DropDetectMs is the transport-level loss-detection delay: a
+	// dropped copy is noticed and re-sent to the same target this long
+	// after its dispatch, under any router policy — the transport's
+	// retransmit timer sits below the router's timeout, as in real RPC
+	// stacks. Defaults to 1 ms when DropProb > 0.
+	DropDetectMs float64
+}
+
+// Active reports whether the model injects any fault.
+func (f FaultModel) Active() bool {
+	return f.SlowdownEveryMs > 0 || f.DownEveryMs > 0 || f.DropProb > 0
+}
+
+func (f *FaultModel) validate() error {
+	if f.DropProb < 0 || f.DropProb >= 1 {
+		return fmt.Errorf("cluster: drop probability %g outside [0,1)", f.DropProb)
+	}
+	if f.SlowdownEveryMs < 0 || f.DownEveryMs < 0 || f.SlowdownMeanMs < 0 || f.DownMeanMs < 0 || f.DropDetectMs < 0 {
+		return fmt.Errorf("cluster: negative fault interval")
+	}
+	if f.SlowdownEveryMs > 0 {
+		if f.SlowdownMeanMs <= 0 {
+			return fmt.Errorf("cluster: slowdown episodes need a positive mean duration")
+		}
+		if f.SlowdownFactor < 1 {
+			return fmt.Errorf("cluster: slowdown factor %g < 1", f.SlowdownFactor)
+		}
+	}
+	if f.DownEveryMs > 0 && f.DownMeanMs <= 0 {
+		return fmt.Errorf("cluster: unavailability windows need a positive mean duration")
+	}
+	if f.DropProb > 0 && f.DropDetectMs == 0 {
+		f.DropDetectMs = 1
+	}
+	return nil
+}
+
+// Mitigation is the router-side policy for surviving faults. The zero
+// value is the naive router: every response is awaited however long it
+// takes (transit losses are still recovered by the transport's
+// DropDetectMs re-sends), no hedging, no degraded joins.
+type Mitigation struct {
+	// TimeoutMs is the per-sub-request attempt deadline measured from
+	// dispatch: when no response has arrived k·TimeoutMs after the
+	// sub-request was dispatched, the router launches retry k to the
+	// shard's standby chain. 0 disables timeouts.
+	TimeoutMs float64
+	// MaxRetries bounds the timeout-driven retries. Retry k targets node
+	// (owner+k) mod Nodes — the shard's standby chain. When the budget is
+	// exhausted and DegradedJoin is false, the router waits out the
+	// slowest in-flight copy.
+	MaxRetries int
+	// HedgeDelayMs launches one backup copy to the shard's standby owner
+	// this long after dispatch when no response has arrived yet — the
+	// classic hedged request. The earliest response wins. 0 disables
+	// hedging.
+	HedgeDelayMs float64
+	// DegradedJoin lets the router give up on a sub-request at the retry
+	// budget's final deadline, dispatch+(MaxRetries+1)·TimeoutMs, joining
+	// the query with partial pooled sums: the abandoned shard's lookups
+	// are excluded and the query's Completeness drops below 1. Requires
+	// TimeoutMs > 0.
+	DegradedJoin bool
+}
+
+// Active reports whether any mitigation is configured.
+func (m Mitigation) Active() bool {
+	return m.TimeoutMs > 0 || m.MaxRetries > 0 || m.HedgeDelayMs > 0 || m.DegradedJoin
+}
+
+func (m Mitigation) validate() error {
+	if m.TimeoutMs < 0 || m.HedgeDelayMs < 0 || m.MaxRetries < 0 {
+		return fmt.Errorf("cluster: negative mitigation parameter")
+	}
+	if m.MaxRetries > 0 && m.TimeoutMs <= 0 {
+		return fmt.Errorf("cluster: retries need a timeout to fire on")
+	}
+	if m.DegradedJoin && m.TimeoutMs <= 0 {
+		return fmt.Errorf("cluster: degraded joins need a timeout deadline")
+	}
+	return nil
+}
+
+// seed salts for the fault subsystem's independent streams.
+const (
+	saltSlowdown uint64 = 0x510D0
+	saltOutage   uint64 = 0xD0109
+	saltDrop     uint64 = 0xD60B
+	saltRetry    uint64 = 0x9ED6E
+)
+
+// track lazily materializes one node's episode timeline: alternating
+// exponential gaps and durations from a dedicated split stream, so the
+// windows are a pure function of (seed, node) no matter when — or in what
+// order — the simulation asks about them.
+type track struct {
+	rng     *stats.RNG
+	gapMean float64
+	durMean float64
+	win     [][2]float64
+	horizon float64 // timeline materialized through this instant
+	applied int     // windows already pushed onto the node's queue
+}
+
+func newTrack(seed, salt uint64, node int, gapMean, durMean float64) *track {
+	return &track{
+		rng:     stats.NewRNG(stats.SplitSeed(seed^salt, uint64(node))),
+		gapMean: gapMean,
+		durMean: durMean,
+	}
+}
+
+// extend materializes windows until the timeline covers t.
+func (tr *track) extend(t float64) {
+	for tr.horizon <= t {
+		start := tr.horizon + tr.rng.ExpFloat64()*tr.gapMean
+		end := start + tr.rng.ExpFloat64()*tr.durMean
+		tr.win = append(tr.win, [2]float64{start, end})
+		tr.horizon = end
+	}
+}
+
+// inside reports whether t falls in an episode window. Because retries
+// and hedges launch later than subsequently dispatched queries, lookups
+// are not monotone in t; the materialized timeline answers any t below
+// the horizon.
+func (tr *track) inside(t float64) bool {
+	tr.extend(t)
+	lo, hi := 0, len(tr.win)
+	for lo < hi { // first window with start > t
+		mid := (lo + hi) / 2
+		if tr.win[mid][0] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo > 0 && t < tr.win[lo-1][1]
+}
+
+// faultState carries the per-node fault timelines of one simulation run.
+type faultState struct {
+	model FaultModel
+	seed  uint64
+	slow  []*track
+	down  []*track
+}
+
+func newFaultState(model FaultModel, seed uint64, nodes int) *faultState {
+	fs := &faultState{model: model, seed: seed}
+	if model.SlowdownEveryMs > 0 {
+		fs.slow = make([]*track, nodes)
+		for n := range fs.slow {
+			fs.slow[n] = newTrack(seed, saltSlowdown, n, model.SlowdownEveryMs, model.SlowdownMeanMs)
+		}
+	}
+	if model.DownEveryMs > 0 {
+		fs.down = make([]*track, nodes)
+		for n := range fs.down {
+			fs.down[n] = newTrack(seed, saltOutage, n, model.DownEveryMs, model.DownMeanMs)
+		}
+	}
+	return fs
+}
+
+// slowFactor returns the service-time multiplier in effect on node at t.
+func (fs *faultState) slowFactor(node int, t float64) float64 {
+	if fs == nil || fs.slow == nil || !fs.slow[node].inside(t) {
+		return 1
+	}
+	return fs.model.SlowdownFactor
+}
+
+// applyOutages pushes every outage window opening by t onto the node's
+// queue. Windows are applied in start order as arrivals reach them, per
+// serve.Queue.Unavailable's contract.
+func (fs *faultState) applyOutages(node int, t float64, q *serve.Queue) {
+	if fs == nil || fs.down == nil {
+		return
+	}
+	tr := fs.down[node]
+	tr.extend(t)
+	for tr.applied < len(tr.win) && tr.win[tr.applied][0] <= t {
+		q.Unavailable(tr.win[tr.applied][1])
+		tr.applied++
+	}
+}
+
+// dropStream returns the deterministic coin stream deciding how many
+// consecutive copies of attempt a of query q's sub-request to node the
+// transport loses before one gets through.
+func (fs *faultState) dropStream(q, node, attempt, nodes int) *stats.RNG {
+	key := stats.SplitSeed(fs.seed^saltDrop, uint64(q)*uint64(nodes)+uint64(node))
+	return stats.NewRNG(stats.SplitSeed(key, uint64(attempt)))
+}
+
+// retryJitter is the jitter draw for retry/hedge copies — primaries keep
+// the legacy (q, node) stream so fault-free runs stay byte-identical.
+func retryJitter(seed uint64, q, node, attempt, nodes int) float64 {
+	key := stats.SplitSeed(seed^saltRetry, uint64(q)*uint64(nodes)+uint64(node))
+	return stats.NewRNG(stats.SplitSeed(key, uint64(attempt))).NormFloat64()
+}
+
+// dropShift returns how long the transport's retransmit timer delays one
+// copy's node arrival (resends × DropDetectMs): losses are recovered
+// below the router under any policy, so delivery always completes.
+func (fs *faultState) dropShift(q, node, attempt, nodes int) (shift float64, resends int) {
+	if fs == nil || fs.model.DropProb <= 0 {
+		return 0, 0
+	}
+	coin := fs.dropStream(q, node, attempt, nodes)
+	for coin.Float64() < fs.model.DropProb {
+		resends++
+		shift += fs.model.DropDetectMs
+	}
+	return shift, resends
+}

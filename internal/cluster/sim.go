@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dlrmsim/internal/serve"
 	"dlrmsim/internal/stats"
@@ -39,10 +40,19 @@ type Config struct {
 	JitterFrac float64
 	// Queries is the number of queries to simulate (default 2000).
 	Queries int
-	// WarmupQueries are excluded from the percentiles (default 5%).
+	// WarmupQueries are excluded from the percentiles. 0 means unset
+	// (default 5% of Queries); -1 requests explicitly zero warmup.
 	WarmupQueries int
-	// Seed drives arrivals, lookups, and jitter; every stream is derived
-	// statelessly from it via stats.SplitSeed.
+	// Faults injects deterministic per-node slowdown episodes, transient
+	// unavailability windows, and sub-request drops (zero = perfect
+	// fleet).
+	Faults FaultModel
+	// Mitigation is the router's fault-survival policy: per-sub-request
+	// timeouts with bounded retry to a standby, hedged backups, degraded
+	// joins (zero = naive router).
+	Mitigation Mitigation
+	// Seed drives arrivals, lookups, jitter, and every fault process;
+	// every stream is derived statelessly from it via stats.SplitSeed.
 	Seed uint64
 }
 
@@ -71,13 +81,21 @@ func (c *Config) applyDefaults() error {
 	if c.Queries < 1 {
 		return fmt.Errorf("cluster: %d queries", c.Queries)
 	}
-	if c.WarmupQueries == 0 {
+	switch {
+	case c.WarmupQueries == 0:
 		c.WarmupQueries = c.Queries / 20
+	case c.WarmupQueries == -1:
+		c.WarmupQueries = 0
+	case c.WarmupQueries < 0:
+		return fmt.Errorf("cluster: warmup %d (use -1 for explicit zero)", c.WarmupQueries)
 	}
 	if c.WarmupQueries >= c.Queries {
 		return fmt.Errorf("cluster: warmup %d >= queries %d", c.WarmupQueries, c.Queries)
 	}
-	return nil
+	if err := c.Faults.validate(); err != nil {
+		return err
+	}
+	return c.Mitigation.validate()
 }
 
 // Result summarizes one cluster run.
@@ -97,10 +115,184 @@ type Result struct {
 	// Imbalance is the busiest node's service time over the mean — 1.0
 	// is perfectly balanced.
 	Imbalance float64
+	// Availability is the fraction of post-warmup queries whose join was
+	// complete — every sub-request answered (1.0 on a perfect fleet, and
+	// whenever degraded joins are off).
+	Availability float64
+	// Completeness is the mean fraction of each post-warmup query's
+	// lookups included in its joined result; degraded joins trade it for
+	// bounded tail latency (1.0 otherwise).
+	Completeness float64
+	// HedgeRate is hedged backup copies launched per dispatched
+	// sub-request (post-warmup).
+	HedgeRate float64
+	// RetriesPerQuery is the mean number of re-sent sub-request copies
+	// per post-warmup query (timeout retries plus transport re-sends).
+	RetriesPerQuery float64
 	// ReplicaBytesPerNode and MaxShardBytes restate the plan's memory
 	// accounting so latency/memory tradeoff curves come from one struct.
 	ReplicaBytesPerNode int64
 	MaxShardBytes       int64
+}
+
+// subState is one sub-request's router-side bookkeeping: the shard fan-out
+// unit whose copies (primary, hedge, retries) race to produce a response.
+type subState struct {
+	q         int
+	owner     int
+	dispatch  float64
+	served    int     // lookups this sub-request covers
+	svcMs     float64 // service time of one copy (pre-jitter, pre-slowdown)
+	respBytes int64
+	best      float64 // earliest response at the router so far
+	retries   int     // timeout retries plus transport re-sends
+	hedged    bool
+}
+
+// copyKind distinguishes how a sub-request copy got launched.
+type copyKind uint8
+
+const (
+	copyPrimary copyKind = iota
+	copyHedge
+	copyRetry
+)
+
+// subCopy is one scheduled copy of a sub-request. Copies are processed
+// globally in node-arrival order, so each node's queue sees submissions
+// in true arrival order even though hedges and retries launch between
+// later queries' dispatches. arrive folds in the transport's deterministic
+// drop re-send delay, so every copy eventually reaches its node.
+type subCopy struct {
+	arrive  float64 // at the node: launch + drop re-sends + request hop
+	launch  float64 // router-side launch deadline (condition reference)
+	sub     int     // index into simState.subs
+	node    int     // target node (owner, or a standby for hedge/retry)
+	attempt int     // jitter/drop stream id: 0 primary, 1 hedge, ≥2 retries
+	resends int     // transport re-sends folded into arrive
+	kind    copyKind
+}
+
+// simState is one Simulate run's mutable state.
+type simState struct {
+	cfg     Config
+	plan    *Plan
+	queues  []*serve.Queue
+	faults  *faultState
+	subs    []subState
+	copies  []subCopy
+	maxWait float64 // worst post-warmup queueing delay (satellite fix:
+	// warmup queries' waits are excluded, matching serve.Simulate)
+}
+
+// schedule plans every copy one sub-request may launch: the primary at
+// dispatch, an optional hedged backup to the shard's standby owner at
+// dispatch+HedgeDelayMs, and timeout retries down the standby chain at
+// dispatch+k·TimeoutMs. Conditional copies are skipped at processing time
+// when a response beat their launch deadline.
+func (s *simState) schedule(q, owner int, served int, svcMs float64, reqBytes, respBytes int64, dispatch float64) {
+	idx := len(s.subs)
+	s.subs = append(s.subs, subState{
+		q: q, owner: owner, dispatch: dispatch,
+		served: served, svcMs: svcMs, respBytes: respBytes,
+		best: math.Inf(1),
+	})
+	add := func(kind copyKind, node, attempt int, launch float64) {
+		shift, resends := s.faults.dropShift(q, node, attempt, s.plan.Nodes)
+		s.copies = append(s.copies, subCopy{
+			arrive:  launch + shift + s.cfg.Net.LatencyMs + s.cfg.Net.TransferMs(reqBytes),
+			launch:  launch,
+			sub:     idx,
+			node:    node,
+			attempt: attempt,
+			resends: resends,
+			kind:    kind,
+		})
+	}
+	add(copyPrimary, owner, 0, dispatch)
+	mit := &s.cfg.Mitigation
+	if mit.HedgeDelayMs > 0 {
+		add(copyHedge, (owner+1)%s.plan.Nodes, 1, dispatch+mit.HedgeDelayMs)
+	}
+	if mit.TimeoutMs > 0 {
+		for k := 1; k <= mit.MaxRetries; k++ {
+			add(copyRetry, (owner+k)%s.plan.Nodes, k+1, dispatch+float64(k)*mit.TimeoutMs)
+		}
+	}
+}
+
+// run processes every scheduled copy in node-arrival order. A conditional
+// copy launches only when no response beat its deadline; comparing against
+// resolved copies is exact because an unresolved copy's arrival — and
+// hence its response — is no earlier than the arrival being processed.
+// attempt 0 keeps the legacy jitter stream, so fault-free runs are
+// byte-identical to the pre-fault simulator.
+func (s *simState) run() {
+	sort.Slice(s.copies, func(i, j int) bool {
+		a, b := &s.copies[i], &s.copies[j]
+		if a.arrive != b.arrive {
+			return a.arrive < b.arrive
+		}
+		if a.sub != b.sub {
+			return a.sub < b.sub
+		}
+		return a.attempt < b.attempt
+	})
+	cfg := &s.cfg
+	for i := range s.copies {
+		c := &s.copies[i]
+		sub := &s.subs[c.sub]
+		if c.kind != copyPrimary && sub.best <= c.launch {
+			continue // a response arrived before this deadline; never sent
+		}
+		switch c.kind {
+		case copyHedge:
+			sub.hedged = true
+		case copyRetry:
+			sub.retries++
+		}
+		sub.retries += c.resends
+		s.faults.applyOutages(c.node, c.arrive, s.queues[c.node])
+		svc := sub.svcMs
+		if f := s.faults.slowFactor(c.node, c.arrive); f != 1 {
+			svc *= f
+		}
+		if cfg.JitterFrac > 0 {
+			var draw float64
+			if c.attempt == 0 {
+				j := stats.NewRNG(stats.SplitSeed(cfg.Seed^0x717E2, uint64(sub.q*s.plan.Nodes+c.node)))
+				draw = j.NormFloat64()
+			} else {
+				draw = retryJitter(cfg.Seed, sub.q, c.node, c.attempt, s.plan.Nodes)
+			}
+			svc *= math.Exp(cfg.JitterFrac * draw)
+		}
+		start, done := s.queues[c.node].Submit(c.arrive, svc)
+		if sub.q >= cfg.WarmupQueries {
+			if w := start - c.arrive; w > s.maxWait {
+				s.maxWait = w
+			}
+		}
+		if back := done + cfg.Net.LatencyMs + cfg.Net.TransferMs(sub.respBytes); back < sub.best {
+			sub.best = back
+		}
+	}
+}
+
+// resolve is the router's join-side view of one sub-request after every
+// copy has been processed: when the router stops waiting, and whether it
+// got a response. With degraded joins the router abandons the sub-request
+// at the retry budget's final deadline, dispatch+(MaxRetries+1)·TimeoutMs;
+// otherwise it waits out the slowest copy.
+func (s *simState) resolve(sub *subState) (doneAt float64, ok bool) {
+	mit := &s.cfg.Mitigation
+	if mit.DegradedJoin {
+		deadline := sub.dispatch + float64(mit.MaxRetries+1)*mit.TimeoutMs
+		if sub.best > deadline {
+			return deadline, false
+		}
+	}
+	return sub.best, true
 }
 
 // Simulate runs the discrete-event cluster simulation: Poisson query
@@ -110,30 +302,53 @@ type Result struct {
 // and joined on the slowest sub-request, after which the dense stages
 // are charged at the router.
 //
+// With Faults configured, per-node slowdown episodes stretch service
+// times, transient unavailability windows hold each node's queue shut,
+// and sub-request copies are dropped in transit; Mitigation sets how the
+// router survives them (timeouts, standby retries, hedged backups,
+// degraded joins). A degraded join abandons unanswered shards at the
+// retry budget's deadline, and the abandoned lookups are excluded from
+// Completeness.
+//
 // Queries are dispatched in arrival order; the per-query lookup ranks,
-// the arrival stream, and each (query, node) jitter draw are all pure
-// functions of (Seed, index) via stats.SplitSeed, so the result is a
-// pure function of the config.
+// the arrival stream, each (query, node, attempt) jitter and drop draw,
+// and each node's fault timeline are all pure functions of (Seed, index)
+// via stats.SplitSeed, so the result is a pure function of the config.
 func Simulate(cfg Config) (Result, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return Result{}, err
 	}
 	plan := cfg.Plan
 	model := plan.Model
-	queues := make([]*serve.Queue, plan.Nodes)
-	for n := range queues {
-		queues[n] = serve.NewQueue(cfg.ServersPerNode)
+	st := &simState{
+		cfg:    cfg,
+		plan:   plan,
+		queues: make([]*serve.Queue, plan.Nodes),
+	}
+	for n := range st.queues {
+		st.queues[n] = serve.NewQueue(cfg.ServersPerNode)
+	}
+	if cfg.Faults.Active() {
+		st.faults = newFaultState(cfg.Faults, cfg.Seed, plan.Nodes)
 	}
 	arrivals := stats.NewRNG(stats.SplitSeed(cfg.Seed^0xA221, 0))
 
+	// Phase 1: draw each query's arrival and lookups, split them by the
+	// plan, and schedule every sub-request copy the router might launch.
 	cold := make([]int, plan.Nodes) // per-node shard-owned lookups of the current query
+	nows := make([]float64, cfg.Queries)
+	firstSub := make([]int, cfg.Queries+1)
 	latencies := make([]float64, 0, cfg.Queries-cfg.WarmupQueries)
-	var now, maxWait, simEnd float64
+	var now, simEnd float64
 	var fanoutSum, hotLookups, totalLookups int
+	var subCount, hedgeCount, retryCount, fullJoins int
+	var completenessSum float64
 
 	draws := cfg.SamplesPerQuery * model.LookupsPerSample
 	for q := 0; q < cfg.Queries; q++ {
 		now += arrivals.ExpFloat64() * cfg.MeanArrivalMs
+		nows[q] = now
+		firstSub[q] = len(st.subs)
 		home := q % plan.Nodes
 		for n := range cold {
 			cold[n] = 0
@@ -161,11 +376,8 @@ func Simulate(cfg Config) (Result, error) {
 			}
 		}
 
-		// Fan out: one sub-request per involved node, FCFS at the node,
-		// network hop + message transfer each way. The join completes at
-		// the slowest sub-request's return.
-		joined := now
-		fanout := 0
+		// Fan out: one sub-request per involved node, with a network hop
+		// and message transfer each way.
 		for n := 0; n < plan.Nodes; n++ {
 			served := cold[n]
 			svcUs := cfg.Timing.SubRequestUs + cfg.Timing.ColdLookupUs*float64(cold[n])
@@ -176,25 +388,49 @@ func Simulate(cfg Config) (Result, error) {
 			if served == 0 {
 				continue
 			}
-			fanout++
-			svc := svcUs / 1e3
-			if cfg.JitterFrac > 0 {
-				j := stats.NewRNG(stats.SplitSeed(cfg.Seed^0x717E2, uint64(q*plan.Nodes+n)))
-				svc *= math.Exp(cfg.JitterFrac * j.NormFloat64())
-			}
 			reqBytes := int64(4*served) + wireHeaderBytes
-			arrive := now + cfg.Net.LatencyMs + cfg.Net.TransferMs(reqBytes)
-			start, done := queues[n].Submit(arrive, svc)
-			if w := start - arrive; w > maxWait {
-				maxWait = w
-			}
 			// The response carries partial pooled sums: one EmbDim vector
 			// per (sample, table) slice served, fp32 on the wire.
 			pooled := (served + model.LookupsPerSample - 1) / model.LookupsPerSample
 			respBytes := int64(pooled)*int64(model.EmbDim)*4 + wireHeaderBytes
-			back := done + cfg.Net.LatencyMs + cfg.Net.TransferMs(respBytes)
-			if back > joined {
-				joined = back
+			st.schedule(q, n, served, svcUs/1e3, reqBytes, respBytes, now)
+		}
+		if q >= cfg.WarmupQueries {
+			hotLookups += hot
+			totalLookups += hot
+			for _, c := range cold {
+				totalLookups += c
+			}
+		}
+	}
+	firstSub[cfg.Queries] = len(st.subs)
+
+	// Phase 2: serve every copy in node-arrival order, FCFS per node.
+	st.run()
+
+	// Phase 3: join each query on its slowest surviving sub-request (or,
+	// degraded, on the deadline the router abandons the slowest shard at),
+	// then charge the dense stages at the router.
+	for q := 0; q < cfg.Queries; q++ {
+		joined := nows[q]
+		queryLookups, servedLookups := 0, 0
+		hedges, retries := 0, 0
+		complete := true
+		for i := firstSub[q]; i < firstSub[q+1]; i++ {
+			sub := &st.subs[i]
+			doneAt, ok := st.resolve(sub)
+			if doneAt > joined {
+				joined = doneAt
+			}
+			queryLookups += sub.served
+			retries += sub.retries
+			if sub.hedged {
+				hedges++
+			}
+			if ok {
+				servedLookups += sub.served
+			} else {
+				complete = false
 			}
 		}
 		finish := joined + cfg.Timing.DenseMs
@@ -204,12 +440,18 @@ func Simulate(cfg Config) (Result, error) {
 		if q < cfg.WarmupQueries {
 			continue
 		}
-		latencies = append(latencies, finish-now)
-		fanoutSum += fanout
-		hotLookups += hot
-		totalLookups += hot
-		for _, c := range cold {
-			totalLookups += c
+		latencies = append(latencies, finish-nows[q])
+		fanoutSum += firstSub[q+1] - firstSub[q]
+		subCount += firstSub[q+1] - firstSub[q]
+		hedgeCount += hedges
+		retryCount += retries
+		if complete {
+			fullJoins++
+		}
+		if queryLookups > 0 {
+			completenessSum += float64(servedLookups) / float64(queryLookups)
+		} else {
+			completenessSum++
 		}
 	}
 
@@ -219,15 +461,21 @@ func Simulate(cfg Config) (Result, error) {
 		P99:                 stats.Percentile(latencies, 0.99),
 		Mean:                stats.Mean(latencies),
 		MeanFanout:          float64(fanoutSum) / float64(len(latencies)),
-		MaxQueueWaitMs:      maxWait,
+		MaxQueueWaitMs:      st.maxWait,
+		Availability:        float64(fullJoins) / float64(len(latencies)),
+		Completeness:        completenessSum / float64(len(latencies)),
+		RetriesPerQuery:     float64(retryCount) / float64(len(latencies)),
 		ReplicaBytesPerNode: plan.ReplicaBytesPerNode(),
 		MaxShardBytes:       plan.MaxShardBytes(),
+	}
+	if subCount > 0 {
+		res.HedgeRate = float64(hedgeCount) / float64(subCount)
 	}
 	if totalLookups > 0 {
 		res.LocalFraction = float64(hotLookups) / float64(totalLookups)
 	}
 	var busySum, busyMax float64
-	for _, qu := range queues {
+	for _, qu := range st.queues {
 		b := qu.BusyMs()
 		busySum += b
 		if b > busyMax {

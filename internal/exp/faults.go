@@ -1,0 +1,173 @@
+package exp
+
+// The robustness experiment family (clu4–clu5) exercises the cluster
+// tier's fault model and router mitigation policies: clu4 crosses fault
+// intensity with the mitigation toolkit, clu5 sweeps the hedging delay at
+// a fixed fault rate to expose the classic hedged-request tradeoff.
+//
+// Every fault timescale is expressed in arrival periods and every
+// mitigation deadline is calibrated off the clean run's p95, so the
+// experiments stay meaningful whatever the engine-derived service model
+// is at the active scale — a policy tuned to the faulted distribution
+// would fire far too late to help.
+
+import (
+	"dlrmsim/internal/cluster"
+	"dlrmsim/internal/core"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/platform"
+	"dlrmsim/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "clu4", Title: "Cluster faults: intensity × mitigation policy", Run: runClu4})
+	register(Experiment{ID: "clu5", Title: "Cluster hedging delay sweep under faults", Run: runClu5})
+}
+
+// cluFaults scales a named fault intensity to the offered load: the
+// timescales are multiples of the mean arrival period, so "moderate"
+// means the same thing whether a node serves a query in microseconds or
+// milliseconds. Moderate trouble saturates a node only transiently;
+// severe episodes are longer, slower, and lossier.
+func cluFaults(level string, arrivalMs float64) cluster.FaultModel {
+	switch level {
+	case "moderate":
+		return cluster.FaultModel{
+			SlowdownEveryMs: 250 * arrivalMs,
+			SlowdownMeanMs:  60 * arrivalMs,
+			SlowdownFactor:  4,
+			DownEveryMs:     400 * arrivalMs,
+			DownMeanMs:      25 * arrivalMs,
+			DropProb:        0.01,
+			DropDetectMs:    7 * arrivalMs,
+		}
+	case "severe":
+		// Longer, slower, lossier than moderate — but still rare enough
+		// that a node drains its episode backlog before the next one;
+		// past that point no router policy can save a fleet whose offered
+		// load exceeds its degraded capacity.
+		return cluster.FaultModel{
+			SlowdownEveryMs: 400 * arrivalMs,
+			SlowdownMeanMs:  50 * arrivalMs,
+			SlowdownFactor:  8,
+			DownEveryMs:     600 * arrivalMs,
+			DownMeanMs:      30 * arrivalMs,
+			DropProb:        0.05,
+			DropDetectMs:    7 * arrivalMs,
+		}
+	}
+	return cluster.FaultModel{}
+}
+
+// cluPolicies is the mitigation toolkit compared in clu4, with deadlines
+// calibrated off the clean fleet's p95. The degraded policy is the
+// fail-fast archetype — no standby retry, so blown deadlines surface as
+// abandoned lookups instead of being quietly rescued.
+func cluPolicies(cleanP95 float64) []struct {
+	Name string
+	Mit  cluster.Mitigation
+} {
+	return []struct {
+		Name string
+		Mit  cluster.Mitigation
+	}{
+		{"naive", cluster.Mitigation{}},
+		{"hedge", cluster.Mitigation{HedgeDelayMs: 2 * cleanP95}},
+		{"retry", cluster.Mitigation{TimeoutMs: 2 * cleanP95, MaxRetries: 3}},
+		{"degraded", cluster.Mitigation{TimeoutMs: 2 * cleanP95, DegradedJoin: true}},
+	}
+}
+
+// cluFaultConfig assembles the shared fault-experiment config: 8 nodes,
+// row-range sharding with 1% hot-row replication (the standby chain
+// serves any shard), engine-derived per-node timing, and enough load
+// headroom (30% utilization) that a slowdown episode saturates its node
+// transiently instead of tipping the whole fleet over.
+func cluFaultConfig(x *Context) (cluster.Config, error) {
+	model := x.Cfg.model(dlrm.RM2Small())
+	cores := x.Cfg.multiCores(platform.CascadeLake())
+	tm, err := clusterTiming(x, model, trace.MediumHot, core.Baseline, cores)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	plan, err := cluster.NewPlan(model, 8, cluster.RowRange, 0.01, x.Cfg.Seed)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	return cluConfig(x, plan, trace.MediumHot, tm, cores, 0.30), nil
+}
+
+// runClu4 crosses fault intensity with the mitigation toolkit. The clean
+// row is the healthy-fleet reference every policy's deadline calibrates
+// against; within each intensity the naive router shows what faults cost
+// and the mitigated rows show how much of the tail each policy buys back
+// — and what it pays in hedged copies, retries, or abandoned lookups.
+func runClu4(x *Context) (*Table, error) {
+	t := &Table{
+		ID: "clu4", Title: "Fault intensity × mitigation (rm2_1, Medium Hot, 8 nodes, row-range)",
+		Headers: []string{"faults", "policy", "p50 (ms)", "p99 (ms)", "hedge %", "retries/q", "avail %", "compl"},
+	}
+	base, err := cluFaultConfig(x)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := cluster.Simulate(base)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("off", "—", f3(clean.P50), f3(clean.P99), pct(clean.HedgeRate),
+		f2(clean.RetriesPerQuery), pct(clean.Availability), f3(clean.Completeness))
+	for _, level := range []string{"moderate", "severe"} {
+		for _, p := range cluPolicies(clean.P95) {
+			cfg := base
+			cfg.Faults = cluFaults(level, base.MeanArrivalMs)
+			cfg.Mitigation = p.Mit
+			res, err := cluster.Simulate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(level, p.Name, f3(res.P50), f3(res.P99), pct(res.HedgeRate),
+				f2(res.RetriesPerQuery), pct(res.Availability), f3(res.Completeness))
+		}
+	}
+	t.AddNote("deadlines are calibrated off the clean p95 (all at 2x; degraded is fail-fast, no retry); the naive router waits out every fault, hedging and standby retries route around sick nodes at full completeness, degraded joins bound the tail at the cost of abandoned lookups")
+	return t, nil
+}
+
+// runClu5 sweeps the hedging delay at the moderate fault rate: too eager
+// and the fleet serves a large fraction of traffic twice, too lazy and
+// the backup arrives after the tail it was meant to rescue — the sweet
+// spot sits a small multiple of the healthy p95 above dispatch.
+func runClu5(x *Context) (*Table, error) {
+	t := &Table{
+		ID: "clu5", Title: "Hedging delay sweep at moderate fault rate (rm2_1, Medium Hot, 8 nodes)",
+		Headers: []string{"hedge delay (ms)", "hedge %", "p95 (ms)", "p99 (ms)", "mean (ms)", "util"},
+	}
+	base, err := cluFaultConfig(x)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := cluster.Simulate(base)
+	if err != nil {
+		return nil, err
+	}
+	faulted := base
+	faulted.Faults = cluFaults("moderate", base.MeanArrivalMs)
+	naive, err := cluster.Simulate(faulted)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("∞ (naive)", pct(naive.HedgeRate), f3(naive.P95), f3(naive.P99), f3(naive.Mean), pct(naive.Utilization))
+	for _, mult := range []float64{16, 8, 4, 2, 1, 0.5} {
+		cfg := faulted
+		cfg.Mitigation = cluster.Mitigation{HedgeDelayMs: mult * clean.P95}
+		res, err := cluster.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f3(cfg.Mitigation.HedgeDelayMs), pct(res.HedgeRate),
+			f3(res.P95), f3(res.P99), f3(res.Mean), pct(res.Utilization))
+	}
+	t.AddNote("delays are multiples of the clean p95 (%.3f ms); shrinking the delay trades hedge volume for tail coverage, and past the sweet spot the extra copies stop buying latency", clean.P95)
+	return t, nil
+}

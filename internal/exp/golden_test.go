@@ -40,6 +40,13 @@ type golden struct {
 	// a fixed synthetic service model (goldenClusterConfig), pinning the
 	// sharding/router/replication arithmetic independently of the engine.
 	ClusterP95Ms map[string]float64 `json:"cluster_p95_ms"`
+	// ClusterFaultP99Ms maps a mitigation policy name to the cluster p99
+	// under the fixed golden fault model (goldenFaults), pinning the fault
+	// injection and router mitigation arithmetic.
+	ClusterFaultP99Ms map[string]float64 `json:"cluster_fault_p99_ms"`
+	// ClusterFaultCompleteness maps the same policies to the mean join
+	// completeness — 1 everywhere except the degraded-join policy.
+	ClusterFaultCompleteness map[string]float64 `json:"cluster_fault_completeness"`
 }
 
 // goldenClusterConfig is the fixed reference cluster for the pinned p95
@@ -62,6 +69,33 @@ func goldenClusterConfig(t *testing.T, model dlrm.Config, h trace.Hotness, frac 
 		JitterFrac:      0.08,
 		Queries:         1500,
 		Seed:            1,
+	}
+}
+
+// goldenFaults is the fixed fault model for the pinned robustness
+// quantities: rare-but-severe slowdown episodes, occasional outages, 2%
+// transit loss — the regime where mitigation can route around trouble.
+func goldenFaults() cluster.FaultModel {
+	return cluster.FaultModel{
+		SlowdownEveryMs: 200,
+		SlowdownMeanMs:  10,
+		SlowdownFactor:  6,
+		DownEveryMs:     300,
+		DownMeanMs:      4,
+		DropProb:        0.02,
+	}
+}
+
+// goldenPolicies are the pinned mitigation policies, with deadlines
+// roughly 2× the golden cluster's clean p95 (~0.25 ms). The degraded
+// policy is the fail-fast archetype — no standby retry, so blown
+// deadlines actually surface as abandoned lookups.
+func goldenPolicies() map[string]cluster.Mitigation {
+	return map[string]cluster.Mitigation{
+		"naive":    {},
+		"hedge":    {HedgeDelayMs: 0.5},
+		"retry":    {TimeoutMs: 0.5, MaxRetries: 3},
+		"degraded": {TimeoutMs: 0.3, DegradedJoin: true},
 	}
 }
 
@@ -119,6 +153,19 @@ func computeGolden(t *testing.T) golden {
 			g.ClusterP95Ms[fmt.Sprintf("%s|f=%.2f", h, frac)] = cres.P95
 		}
 	}
+	g.ClusterFaultP99Ms = map[string]float64{}
+	g.ClusterFaultCompleteness = map[string]float64{}
+	for name, mit := range goldenPolicies() {
+		cfg := goldenClusterConfig(t, cmodel, trace.HighHot, 0.05)
+		cfg.Faults = goldenFaults()
+		cfg.Mitigation = mit
+		cres, err := cluster.Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ClusterFaultP99Ms[name] = cres.P99
+		g.ClusterFaultCompleteness[name] = cres.Completeness
+	}
 	return g
 }
 
@@ -128,6 +175,24 @@ const goldenPath = "testdata/golden.json"
 // seed and compares them to testdata/golden.json within 1e-9.
 func TestGoldenRegression(t *testing.T) {
 	got := computeGolden(t)
+	// The robustness subsystem's acceptance criterion, checked against the
+	// freshly computed quantities so it holds in -update runs too: with
+	// faults on, mitigation demonstrably improves the tail over the naive
+	// router, and only degraded joins give up completeness.
+	naiveP99 := got.ClusterFaultP99Ms["naive"]
+	for _, policy := range []string{"hedge", "retry", "degraded"} {
+		if p99 := got.ClusterFaultP99Ms[policy]; p99 >= naiveP99 {
+			t.Errorf("%s policy p99 %.4f ms does not beat naive %.4f ms under golden faults", policy, p99, naiveP99)
+		}
+	}
+	for policy, compl := range got.ClusterFaultCompleteness {
+		if policy != "degraded" && compl != 1 {
+			t.Errorf("%s policy lost data: completeness %g", policy, compl)
+		}
+	}
+	if got.ClusterFaultCompleteness["degraded"] >= 1 {
+		t.Error("degraded policy never abandoned a lookup under golden faults")
+	}
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
@@ -196,4 +261,26 @@ func TestGoldenRegression(t *testing.T) {
 			t.Errorf("cluster p95[%s] = %.12g ms, golden %.12g ms", k, g, want.ClusterP95Ms[k])
 		}
 	}
+	compareMap := func(metric string, gotM, wantM map[string]float64) {
+		if len(gotM) != len(wantM) {
+			t.Errorf("golden has %d %s cells, computed %d", len(wantM), metric, len(gotM))
+		}
+		var keys []string
+		for k := range wantM {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g, ok := gotM[k]
+			if !ok {
+				t.Errorf("%s cell %q missing from computed results", metric, k)
+				continue
+			}
+			if !close(g, wantM[k]) {
+				t.Errorf("%s[%s] = %.12g, golden %.12g", metric, k, g, wantM[k])
+			}
+		}
+	}
+	compareMap("fault p99", got.ClusterFaultP99Ms, want.ClusterFaultP99Ms)
+	compareMap("fault completeness", got.ClusterFaultCompleteness, want.ClusterFaultCompleteness)
 }

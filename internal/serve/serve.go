@@ -30,7 +30,8 @@ type Config struct {
 	JitterFrac float64
 	// Requests is the number of requests to simulate (default 2000).
 	Requests int
-	// WarmupRequests are excluded from the percentiles (default 5%).
+	// WarmupRequests are excluded from the percentiles. 0 means unset
+	// (default 5% of Requests); -1 requests explicitly zero warmup.
 	WarmupRequests int
 	// SLATargetMs marks the compliance threshold (0 = no SLA tracking).
 	SLATargetMs float64
@@ -51,8 +52,13 @@ func (c *Config) applyDefaults() error {
 	if c.Requests < 1 {
 		return fmt.Errorf("serve: %d requests", c.Requests)
 	}
-	if c.WarmupRequests == 0 {
+	switch {
+	case c.WarmupRequests == 0:
 		c.WarmupRequests = c.Requests / 20
+	case c.WarmupRequests == -1:
+		c.WarmupRequests = 0
+	case c.WarmupRequests < 0:
+		return fmt.Errorf("serve: warmup %d (use -1 for explicit zero)", c.WarmupRequests)
 	}
 	if c.WarmupRequests >= c.Requests {
 		return fmt.Errorf("serve: warmup %d >= requests %d", c.WarmupRequests, c.Requests)
@@ -68,8 +74,9 @@ type Result struct {
 	// SLACompliant is the fraction of post-warmup requests meeting the
 	// SLA target (1.0 when no target is set).
 	SLACompliant float64
-	// Utilization is offered load over capacity: service / (arrival ×
-	// cores). Above ~1 the system saturates.
+	// Utilization is offered load over capacity: mean service / (arrival
+	// × cores). With jitter J the mean service time is the lognormal mean
+	// ServiceMs·exp(J²/2), not ServiceMs. Above ~1 the system saturates.
 	Utilization float64
 	// MaxQueueWaitMs is the worst queueing delay observed.
 	MaxQueueWaitMs float64
@@ -80,9 +87,18 @@ func (r Result) MeetsSLA(targetMs float64) bool { return r.P95 <= targetMs }
 
 // Queue is the earliest-free-server FCFS discipline at the heart of
 // Simulate, exported so other simulators reuse the same service model —
-// internal/cluster runs one Queue per shard node. Submissions must be
+// internal/cluster runs one Queue per shard node. Submissions should be
 // made in dispatch order; each Submit claims the earliest-free of the
 // queue's servers.
+//
+// Submissions with non-monotonic arrival times are accepted but are NOT
+// re-sorted into arrival order: requests are served in submission order
+// on the earliest-free server, so a late-submitted early arrival queues
+// behind everything submitted before it. Callers that can generate
+// out-of-order arrivals must therefore order their own submissions —
+// internal/cluster processes sub-request copies (including retries and
+// hedges, which launch between later queries' dispatches) globally in
+// node-arrival order for exactly this reason.
 type Queue struct {
 	free []float64
 	busy float64
@@ -115,6 +131,22 @@ func (q *Queue) Submit(arrival, service float64) (start, done float64) {
 	q.free[best] = done
 	q.busy += service
 	return start, done
+}
+
+// Unavailable marks every server unavailable until the given time — a
+// transient outage window: requests already in service are presumed to
+// complete but their responses are held until the window ends, and every
+// subsequent Submit starts no earlier than until. Outage time is not
+// counted as busy time. Callers should apply windows in nondecreasing
+// order, as arrivals reach each window's start (internal/cluster's fault
+// model does); a window applied early also delays submissions that
+// arrive before it begins.
+func (q *Queue) Unavailable(until float64) {
+	for s := range q.free {
+		if q.free[s] < until {
+			q.free[s] = until
+		}
+	}
 }
 
 // Servers returns the queue's server count.
@@ -161,7 +193,7 @@ func Simulate(cfg Config) (Result, error) {
 		P99:            stats.Percentile(latencies, 0.99),
 		Mean:           stats.Mean(latencies),
 		SLACompliant:   float64(slaOK) / float64(len(latencies)),
-		Utilization:    cfg.ServiceMs / (cfg.MeanArrivalMs * float64(cfg.Cores)),
+		Utilization:    cfg.ServiceMs * math.Exp(cfg.JitterFrac*cfg.JitterFrac/2) / (cfg.MeanArrivalMs * float64(cfg.Cores)),
 		MaxQueueWaitMs: maxWait,
 	}
 	return res, nil

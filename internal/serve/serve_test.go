@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"testing"
 )
 
@@ -147,6 +148,108 @@ func TestJitterDeterministic(t *testing.T) {
 	}
 	if c == a {
 		t.Fatal("different seed produced identical jittered result")
+	}
+}
+
+// TestJitteredUtilization: with jitter J the mean service time is the
+// lognormal mean ServiceMs·exp(J²/2), so reported utilization must carry
+// the exp(J²/2) factor — without it the offered load is understated
+// (pre-fix the jittered and unjittered configs reported the same value).
+func TestJitteredUtilization(t *testing.T) {
+	cfg := baseConfig()
+	cfg.JitterFrac = 0.4
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.ServiceMs * math.Exp(0.4*0.4/2) / (cfg.MeanArrivalMs * float64(cfg.Cores))
+	if math.Abs(res.Utilization-want) > 1e-12 {
+		t.Fatalf("jittered utilization = %.12g, want %.12g", res.Utilization, want)
+	}
+	cfg.JitterFrac = 0
+	plain, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization <= plain.Utilization {
+		t.Fatalf("jitter did not raise utilization: %g vs %g", res.Utilization, plain.Utilization)
+	}
+}
+
+// TestExplicitZeroWarmup: WarmupRequests 0 means unset (5% default), -1
+// requests explicitly zero warmup, and any other negative is rejected —
+// pre-fix, -2 was silently accepted.
+func TestExplicitZeroWarmup(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MeanArrivalMs = 1.6
+	cfg.WarmupRequests = -1
+	zero, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("explicit-zero warmup rejected: %v", err)
+	}
+	cfg.WarmupRequests = 0
+	def, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default run drops the first 5% of requests, so at this load the
+	// two results must differ somewhere.
+	if zero == def {
+		t.Fatal("explicit-zero warmup produced the same result as the 5% default")
+	}
+	cfg.WarmupRequests = -2
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("accepted warmup -2")
+	}
+}
+
+// TestQueueNonMonotonicArrivals pins the documented earliest-free-server
+// semantics when submissions arrive out of dispatch order: requests are
+// served in submission order, never re-sorted by arrival, so an early
+// arrival submitted late queues behind already-submitted work.
+func TestQueueNonMonotonicArrivals(t *testing.T) {
+	q := NewQueue(1)
+	if start, done := q.Submit(10, 5); start != 10 || done != 15 {
+		t.Fatalf("first: start %g done %g, want 10, 15", start, done)
+	}
+	// Arrival at t=0 submitted second: served after the first request
+	// despite arriving earlier — submission order is service order.
+	if start, done := q.Submit(0, 5); start != 15 || done != 20 {
+		t.Fatalf("out-of-order arrival: start %g done %g, want 15, 20", start, done)
+	}
+	// Two servers: the out-of-order arrival takes a free server if one
+	// exists, starting at its own (earlier) arrival time.
+	q2 := NewQueue(2)
+	q2.Submit(10, 5)
+	if start, done := q2.Submit(0, 3); start != 0 || done != 3 {
+		t.Fatalf("free-server early arrival: start %g done %g, want 0, 3", start, done)
+	}
+	if q2.BusyMs() != 8 {
+		t.Fatalf("BusyMs() = %g, want 8", q2.BusyMs())
+	}
+}
+
+// TestQueueUnavailable: an outage window holds every server until the
+// window ends and is not counted as busy time.
+func TestQueueUnavailable(t *testing.T) {
+	q := NewQueue(2)
+	q.Submit(0, 4) // in service when the outage starts
+	q.Unavailable(10)
+	// A request arriving mid-outage starts when the node comes back.
+	if start, done := q.Submit(6, 2); start != 10 || done != 12 {
+		t.Fatalf("mid-outage arrival: start %g done %g, want 10, 12", start, done)
+	}
+	// The other server is also held: next submission queues at 10+.
+	if start, _ := q.Submit(6, 1); start != 10 {
+		t.Fatalf("second server not held: start %g, want 10", start)
+	}
+	if q.BusyMs() != 7 {
+		t.Fatalf("outage counted as busy: BusyMs() = %g, want 7", q.BusyMs())
+	}
+	// A window in the past is a no-op.
+	q.Unavailable(5)
+	if start, _ := q.Submit(20, 1); start != 20 {
+		t.Fatalf("stale window delayed an idle-server arrival to %g", start)
 	}
 }
 
