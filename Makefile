@@ -3,7 +3,16 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench golden verify
+# Headline benchmarks captured in BENCH_<n>.json: the parallel-runner
+# sweep, the engine fan-out, a full end-to-end artifact, plus the
+# per-subsystem micro-benches (memsim access path, cpusim step loop,
+# cluster discrete-event run).
+BENCH_REGEX ?= BenchmarkSweepParallel|BenchmarkEngineCells|BenchmarkFig13EndToEnd|BenchmarkEmbeddingKernel|BenchmarkHierarchyAccess|BenchmarkCacheLookupHit|BenchmarkCacheFillEvict|BenchmarkCoreStepLoop|BenchmarkClusterSimulate
+BENCH_PKGS  ?= . ./internal/memsim ./internal/cpusim ./internal/cluster
+BENCHTIME   ?= 2s
+BENCH_N     ?= 0
+
+.PHONY: build vet test race bench bench-json bench-compare golden verify
 
 build:
 	$(GO) build ./...
@@ -23,6 +32,20 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Emit the perf-trajectory point BENCH_$(BENCH_N).json (plus the raw
+# go-bench text as BENCH_$(BENCH_N).bench for benchstat). Run on an idle
+# machine; bump BENCH_N per committed point (0 = pre-optimization seed).
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem -benchtime $(BENCHTIME) -count 1 $(BENCH_PKGS) | tee BENCH_$(BENCH_N).bench | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json
+	@echo "wrote BENCH_$(BENCH_N).json"
+
+# Compare two committed trajectory points. Uses benchstat on the raw
+# .bench files when installed; always prints the dependency-free
+# benchjson ratio table.
+bench-compare:
+	@if command -v benchstat >/dev/null 2>&1; then benchstat BENCH_$(OLD).bench BENCH_$(NEW).bench; fi
+	$(GO) run ./cmd/benchjson -compare BENCH_$(OLD).json BENCH_$(NEW).json
 
 # Regenerate the golden headline quantities after a DELIBERATE change to
 # simulator arithmetic (review the diff — this is the regression baseline).

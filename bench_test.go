@@ -42,6 +42,8 @@ func runExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x := benchContext()
 		if _, err := e.Run(x); err != nil {
@@ -83,6 +85,7 @@ var sweepIDs = []string{"fig12", "fig13", "fig14", "fig15", "tab4"}
 // BenchmarkSweepSequential times the slice on the strictly sequential
 // runner path (dlrmbench -workers 1).
 func BenchmarkSweepSequential(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunAll(context.Background(), benchContext(), sweepIDs, 1); err != nil {
 			b.Fatal(err)
@@ -97,6 +100,7 @@ func BenchmarkSweepSequential(b *testing.B) {
 // far as the host's core count allows (parallel-x ≈ 1.0 on one CPU).
 func BenchmarkSweepParallel(b *testing.B) {
 	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
 	var seq, par time.Duration
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
@@ -130,6 +134,7 @@ func BenchmarkEngineCells(b *testing.B) {
 		workers int
 	}{{"workers1", 1}, {"workersAll", runtime.GOMAXPROCS(0)}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RunCells(context.Background(), cells, bc.workers); err != nil {
 					b.Fatal(err)
@@ -157,6 +162,7 @@ func benchOptions(s core.Scheme, h trace.Hotness) core.Options {
 // BenchmarkHeadlineSpeedups reports the Fig. 13-style speedups of each
 // design over baseline as custom metrics.
 func BenchmarkHeadlineSpeedups(b *testing.B) {
+	b.ReportAllocs()
 	var base core.Report
 	var err error
 	speedups := map[string]float64{}
@@ -183,6 +189,7 @@ func BenchmarkHeadlineSpeedups(b *testing.B) {
 func BenchmarkEmbeddingKernel(b *testing.B) {
 	opts := benchOptions(core.Baseline, trace.MediumHot)
 	opts.EmbeddingOnly = true
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(opts); err != nil {
@@ -201,6 +208,7 @@ func BenchmarkReuseAnalyzer(b *testing.B) {
 		b.Fatal(err)
 	}
 	cpu := platform.CascadeLake()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := reuse.Run(ds, reuse.ModelConfig{
@@ -217,6 +225,7 @@ func BenchmarkReuseAnalyzer(b *testing.B) {
 // BenchmarkServeSimulator measures the queueing simulator's throughput
 // and reports the p95 under a representative load.
 func BenchmarkServeSimulator(b *testing.B) {
+	b.ReportAllocs()
 	var p95 float64
 	for i := 0; i < b.N; i++ {
 		res, err := serve.Simulate(serve.Config{
@@ -238,6 +247,7 @@ func BenchmarkAblationFillBuffers(b *testing.B) {
 	for _, fb := range []int{8, 13, 20} {
 		fb := fb
 		b.Run(map[int]string{8: "fb8", 13: "fb13", 20: "fb20"}[fb], func(b *testing.B) {
+			b.ReportAllocs()
 			var spd float64
 			for i := 0; i < b.N; i++ {
 				cpu := platform.CascadeLake()
@@ -270,6 +280,7 @@ func BenchmarkAblationBandwidthFixedPoint(b *testing.B) {
 	for _, iters := range []int{1, 3} {
 		iters := iters
 		b.Run(map[int]string{1: "iters1", 3: "iters3"}[iters], func(b *testing.B) {
+			b.ReportAllocs()
 			var ms float64
 			for i := 0; i < b.N; i++ {
 				o := benchOptions(core.Baseline, trace.LowHot)
@@ -291,6 +302,7 @@ func BenchmarkAblationHWPrefetchDegree(b *testing.B) {
 	for _, deg := range []int{1, 2, 4} {
 		deg := deg
 		b.Run(map[int]string{1: "deg1", 2: "deg2", 4: "deg4"}[deg], func(b *testing.B) {
+			b.ReportAllocs()
 			var ms float64
 			for i := 0; i < b.N; i++ {
 				cpu := platform.CascadeLake()

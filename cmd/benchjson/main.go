@@ -1,0 +1,209 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH_<n>.json perf-trajectory format, and compares two such files.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem ./... | benchjson -out BENCH_1.json
+//	benchjson -compare BENCH_0.json BENCH_1.json
+//
+// The JSON records, per benchmark: iterations, ns/op, B/op, allocs/op, and
+// every custom metric the benchmark reported (parallel-x, p95-ms, …), so
+// one file captures both host-side speed and the artifact's headline
+// quantities. Compare mode prints old→new ns/op and allocs/op ratios —
+// a benchstat-shaped summary with no external dependency.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's result row.
+type Benchmark struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<n>.json document.
+type File struct {
+	Schema     string      `json:"schema"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+const schema = "dlrmsim-bench/v1"
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func parse(r *bufio.Scanner) (*File, error) {
+	f := &File{Schema: schema}
+	pkg := ""
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		b := Benchmark{Pkg: pkg, Name: trimProcs(m[1]), Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value in %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return f, nil
+}
+
+// trimProcs drops the trailing -GOMAXPROCS suffix so names are stable
+// across machines.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func key(b Benchmark) string { return b.Pkg + "." + b.Name }
+
+func compare(oldPath, newPath string) error {
+	of, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	nf, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	olds := map[string]Benchmark{}
+	for _, b := range of.Benchmarks {
+		olds[key(b)] = b
+	}
+	var names []string
+	news := map[string]Benchmark{}
+	for _, b := range nf.Benchmarks {
+		news[key(b)] = b
+		names = append(names, key(b))
+	}
+	sort.Strings(names)
+	fmt.Printf("%-52s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "allocs o→n")
+	fmt.Printf("%s\n", strings.Repeat("-", 104))
+	for _, name := range names {
+		nb := news[name]
+		ob, ok := olds[name]
+		if !ok {
+			fmt.Printf("%-52s %14s %14.0f %8s %12.0f\n", name, "(new)", nb.NsPerOp, "", nb.AllocsOp)
+			continue
+		}
+		speed := 0.0
+		if nb.NsPerOp > 0 {
+			speed = ob.NsPerOp / nb.NsPerOp
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %7.2fx %6.0f→%.0f\n",
+			name, ob.NsPerOp, nb.NsPerOp, speed, ob.AllocsOp, nb.AllocsOp)
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	cmp := flag.Bool("compare", false, "compare two BENCH_<n>.json files instead of parsing stdin")
+	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files")
+			os.Exit(2)
+		}
+		if err := compare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	f, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dlrmsim/internal/exp"
+	"dlrmsim/internal/prof"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 		format    = flag.String("format", "text", "output format: text | csv")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		quietTime = flag.Bool("notime", false, "suppress timing output")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -59,6 +62,15 @@ func main() {
 	if *expFlag != "all" {
 		ids = strings.Split(*expFlag, ",")
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dlrmbench:", err)
+		}
+	}()
 	x := exp.NewContext(exp.Config{
 		Scale:               *scale,
 		BatchSize:           *batch,

@@ -20,6 +20,7 @@ import (
 	"dlrmsim/internal/core"
 	"dlrmsim/internal/dlrm"
 	"dlrmsim/internal/platform"
+	"dlrmsim/internal/prof"
 	"dlrmsim/internal/trace"
 )
 
@@ -53,8 +54,20 @@ func main() {
 		retries    = flag.Int("retries", 0, "max timeout retries down the standby chain")
 		hedge      = flag.Float64("hedge", 0, "hedged-request delay in ms (0 = no hedging)")
 		degraded   = flag.Bool("degraded", false, "join with partial results at the retry budget's deadline")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dlrmcluster:", err)
+		}
+	}()
 
 	base, err := dlrm.ByName(*modelName)
 	if err != nil {

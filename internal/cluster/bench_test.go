@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"testing"
+
+	"dlrmsim/internal/trace"
+)
+
+func benchConfig(tb testing.TB, faulted bool) Config {
+	tb.Helper()
+	plan, err := NewPlan(testModel(), 8, RowRange, 0.01, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tm := testTiming()
+	cfg := Config{
+		Plan:            plan,
+		Hotness:         trace.HighHot,
+		SamplesPerQuery: 8,
+		Timing:          tm,
+		Net:             DefaultNetwork(),
+		ServersPerNode:  2,
+		MeanArrivalMs:   ArrivalForUtilization(plan, tm, 8, 2, 0.55),
+		JitterFrac:      0.08,
+		Queries:         1500,
+		Seed:            1,
+	}
+	if faulted {
+		cfg.Faults = FaultModel{
+			SlowdownEveryMs: 40, SlowdownMeanMs: 6, SlowdownFactor: 4,
+			DownEveryMs: 120, DownMeanMs: 3,
+			DropProb: 0.01,
+		}
+		cfg.Mitigation = Mitigation{TimeoutMs: 2, MaxRetries: 2, HedgeDelayMs: 1, DegradedJoin: true}
+	}
+	return cfg
+}
+
+// BenchmarkClusterSimulate measures one full discrete-event cluster run —
+// query synthesis, copy scheduling, per-node FCFS service, and the join —
+// on a steady fleet and under the fault+mitigation model.
+func BenchmarkClusterSimulate(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		faulted bool
+	}{{"steady", false}, {"faulted", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchConfig(b, bc.faulted)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

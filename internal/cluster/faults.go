@@ -246,16 +246,17 @@ func (fs *faultState) applyOutages(node int, t float64, q *serve.Queue) {
 // dropStream returns the deterministic coin stream deciding how many
 // consecutive copies of attempt a of query q's sub-request to node the
 // transport loses before one gets through.
-func (fs *faultState) dropStream(q, node, attempt, nodes int) *stats.RNG {
+func (fs *faultState) dropStream(q, node, attempt, nodes int) stats.RNG {
 	key := stats.SplitSeed(fs.seed^saltDrop, uint64(q)*uint64(nodes)+uint64(node))
-	return stats.NewRNG(stats.SplitSeed(key, uint64(attempt)))
+	return stats.SeededRNG(stats.SplitSeed(key, uint64(attempt)))
 }
 
 // retryJitter is the jitter draw for retry/hedge copies — primaries keep
 // the legacy (q, node) stream so fault-free runs stay byte-identical.
 func retryJitter(seed uint64, q, node, attempt, nodes int) float64 {
 	key := stats.SplitSeed(seed^saltRetry, uint64(q)*uint64(nodes)+uint64(node))
-	return stats.NewRNG(stats.SplitSeed(key, uint64(attempt))).NormFloat64()
+	rng := stats.SeededRNG(stats.SplitSeed(key, uint64(attempt)))
+	return rng.NormFloat64()
 }
 
 // dropShift returns how long the transport's retransmit timer delays one

@@ -3,7 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dlrmsim/internal/serve"
 	"dlrmsim/internal/stats"
@@ -228,15 +228,23 @@ func (s *simState) schedule(q, owner int, served int, svcMs float64, reqBytes, r
 // attempt 0 keeps the legacy jitter stream, so fault-free runs are
 // byte-identical to the pre-fault simulator.
 func (s *simState) run() {
-	sort.Slice(s.copies, func(i, j int) bool {
-		a, b := &s.copies[i], &s.copies[j]
-		if a.arrive != b.arrive {
-			return a.arrive < b.arrive
+	// (arrive, sub, attempt) is a total order — no two copies share a
+	// (sub, attempt) pair — so the unstable slices sort is deterministic
+	// and yields exactly the order the reflection-based stable-keyed
+	// sort.Slice produced, at a fraction of the cost: the copies are
+	// nearly sorted already (queries dispatch in arrival order) and
+	// pdqsort exploits that. See DESIGN.md §9 for the alternatives tried.
+	slices.SortFunc(s.copies, func(a, b subCopy) int {
+		switch {
+		case a.arrive < b.arrive:
+			return -1
+		case a.arrive > b.arrive:
+			return 1
+		case a.sub != b.sub:
+			return a.sub - b.sub
+		default:
+			return a.attempt - b.attempt
 		}
-		if a.sub != b.sub {
-			return a.sub < b.sub
-		}
-		return a.attempt < b.attempt
 	})
 	cfg := &s.cfg
 	for i := range s.copies {
@@ -260,7 +268,7 @@ func (s *simState) run() {
 		if cfg.JitterFrac > 0 {
 			var draw float64
 			if c.attempt == 0 {
-				j := stats.NewRNG(stats.SplitSeed(cfg.Seed^0x717E2, uint64(sub.q*s.plan.Nodes+c.node)))
+				j := stats.SeededRNG(stats.SplitSeed(cfg.Seed^0x717E2, uint64(sub.q*s.plan.Nodes+c.node)))
 				draw = j.NormFloat64()
 			} else {
 				draw = retryJitter(cfg.Seed, sub.q, c.node, c.attempt, s.plan.Nodes)
@@ -331,6 +339,18 @@ func Simulate(cfg Config) (Result, error) {
 	if cfg.Faults.Active() {
 		st.faults = newFaultState(cfg.Faults, cfg.Seed, plan.Nodes)
 	}
+	// Seed the scheduling scratch: one sub-request per query is the floor
+	// (the home node always serves), and the copy count per sub-request is
+	// fixed by the mitigation policy. Growth beyond this is amortized.
+	copiesPerSub := 1
+	if cfg.Mitigation.HedgeDelayMs > 0 {
+		copiesPerSub++
+	}
+	if cfg.Mitigation.TimeoutMs > 0 {
+		copiesPerSub += cfg.Mitigation.MaxRetries
+	}
+	st.subs = make([]subState, 0, cfg.Queries)
+	st.copies = make([]subCopy, 0, cfg.Queries*copiesPerSub)
 	arrivals := stats.NewRNG(stats.SplitSeed(cfg.Seed^0xA221, 0))
 
 	// Phase 1: draw each query's arrival and lookups, split them by the
@@ -344,6 +364,18 @@ func Simulate(cfg Config) (Result, error) {
 	var subCount, hedgeCount, retryCount, fullJoins int
 	var completenessSum float64
 
+	// The Zipf sampler's rejection-inversion constants depend only on
+	// (rows, exponent), and construction consumes no generator draws, so
+	// one sampler serves every (query, table) stream; each stream keeps
+	// its own generator below, making the draws byte-identical to the
+	// per-stream samplers this replaces.
+	var zipf *stats.Zipf
+	switch cfg.Hotness {
+	case trace.OneItem, trace.RandomAccess:
+	default:
+		zipf = stats.NewSharedZipf(model.RowsPerTable, cfg.Hotness.ReferenceExponent())
+	}
+
 	draws := cfg.SamplesPerQuery * model.LookupsPerSample
 	for q := 0; q < cfg.Queries; q++ {
 		now += arrivals.ExpFloat64() * cfg.MeanArrivalMs
@@ -355,19 +387,17 @@ func Simulate(cfg Config) (Result, error) {
 		}
 		hot := 0
 		for t := 0; t < model.Tables; t++ {
-			rng := stats.NewRNG(stats.SplitSeed(cfg.Seed^0x100C, uint64(q*model.Tables+t)))
-			var rank func() int
-			switch cfg.Hotness {
-			case trace.OneItem:
-				rank = func() int { return 0 }
-			case trace.RandomAccess:
-				rank = func() int { return rng.Intn(model.RowsPerTable) }
-			default:
-				z := stats.NewZipf(rng, model.RowsPerTable, cfg.Hotness.ReferenceExponent())
-				rank = z.Sample
-			}
+			rng := stats.SeededRNG(stats.SplitSeed(cfg.Seed^0x100C, uint64(q*model.Tables+t)))
 			for l := 0; l < draws; l++ {
-				r := rank()
+				var r int
+				switch cfg.Hotness {
+				case trace.OneItem:
+					// rank 0, the single hot row
+				case trace.RandomAccess:
+					r = rng.Intn(model.RowsPerTable)
+				default:
+					r = zipf.SampleWith(&rng)
+				}
 				if plan.Replicated(r) {
 					hot++
 				} else {

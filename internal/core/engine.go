@@ -125,6 +125,31 @@ type Report struct {
 // stay far below this.
 const batchRegion memsim.Addr = 1 << 28
 
+// systemPools recycles cpusim.System instances between design points with
+// identical parameters. Building a System dominates a cell's allocations —
+// the LLC model alone is tens of megabytes — while System.Run already
+// resets every piece of state it reads: the shared LLC+DRAM at each
+// bandwidth fixed-point iteration, each worked core's hierarchy at
+// runOnce, and the core-local pools/thread contexts at phase start. A
+// recycled System is therefore observably identical to a fresh one.
+// cpusim.SystemParams is a comparable value type, so it keys the map
+// directly; sweeps run the same few parameter sets thousands of times.
+var systemPools sync.Map // cpusim.SystemParams -> *sync.Pool of *cpusim.System
+
+func acquireSystem(p cpusim.SystemParams) *cpusim.System {
+	if v, ok := systemPools.Load(p); ok {
+		if s, _ := v.(*sync.Pool).Get().(*cpusim.System); s != nil {
+			return s
+		}
+	}
+	return cpusim.NewSystem(p)
+}
+
+func releaseSystem(p cpusim.SystemParams, s *cpusim.System) {
+	v, _ := systemPools.LoadOrStore(p, &sync.Pool{})
+	v.(*sync.Pool).Put(s)
+}
+
 // bufBase returns the private buffer region for a (core, instance) slot.
 func bufBase(core, instance int) memsim.Addr {
 	return memsim.Addr(1)<<33 + memsim.Addr(core*2+instance)*batchRegion
@@ -182,12 +207,14 @@ func RunContext(ctx context.Context, opts Options) (Report, error) {
 
 	mem := opts.CPU.Mem
 	mem.HWPrefetch = opts.Scheme != NoHWPF
-	sys := cpusim.NewSystem(cpusim.SystemParams{
+	sysParams := cpusim.SystemParams{
 		Core:                opts.CPU.Core,
 		Mem:                 mem,
 		Cores:               opts.Cores,
 		BandwidthIterations: opts.BandwidthIterations,
-	})
+	}
+	sys := acquireSystem(sysParams)
+	defer releaseSystem(sysParams, sys)
 
 	sp := func(core, instance int, pf embedding.PrefetchConfig) dlrm.StreamParams {
 		return dlrm.StreamParams{

@@ -122,10 +122,70 @@ type Core struct {
 
 	// Core-wide miss pools (completion times, ascending), shared by both
 	// SMT contexts like physical fill buffers.
-	demandPool   []float64
-	prefetchPool []float64
+	demand   fillPool
+	prefetch fillPool
 
-	threads []*thread
+	threads  []*thread
+	thrStore [2]thread // backing for threads, reused across Begin calls
+
+	// op is Step's decode scratch. It is a field rather than a local so
+	// the Stream interface call cannot force a fresh heap allocation on
+	// every op (the escape analyzer cannot see through the interface).
+	op Op
+}
+
+// fillPool is an ascending queue of fill completion times. head indexes
+// the logical front, so popping and draining are O(1) index bumps instead
+// of memmoves; insertion stays a short shuffle near the tail (a pool
+// holds at most FillBuffers entries). Equal completion times keep their
+// insertion order, exactly like the linear insertion this replaces.
+type fillPool struct {
+	buf  []float64
+	head int
+}
+
+func (p *fillPool) size() int      { return len(p.buf) - p.head }
+func (p *fillPool) front() float64 { return p.buf[p.head] }
+
+func (p *fillPool) reset() {
+	p.buf = p.buf[:0]
+	p.head = 0
+}
+
+func (p *fillPool) popFront() {
+	p.head++
+	if p.head == len(p.buf) {
+		p.reset()
+	}
+}
+
+// drainBefore drops entries completed by now (the queue is ascending).
+func (p *fillPool) drainBefore(now float64) {
+	h := p.head
+	for h < len(p.buf) && p.buf[h] <= now {
+		h++
+	}
+	if h == len(p.buf) {
+		p.reset()
+		return
+	}
+	p.head = h
+}
+
+// insert places v keeping the queue ascending (stable for equal values).
+func (p *fillPool) insert(v float64) {
+	if p.head > 0 && len(p.buf) == cap(p.buf) {
+		n := copy(p.buf, p.buf[p.head:])
+		p.buf = p.buf[:n]
+		p.head = 0
+	}
+	p.buf = append(p.buf, v)
+	i := len(p.buf) - 1
+	for i > p.head && p.buf[i-1] > v {
+		p.buf[i] = p.buf[i-1]
+		i--
+	}
+	p.buf[i] = v
 }
 
 // NewCore builds a core over the given private hierarchy. It panics on
@@ -172,11 +232,14 @@ func (c *Core) BeginAt(start float64, streams ...Stream) {
 		panic(fmt.Sprintf("cpusim: Begin with %d streams", len(streams)))
 	}
 	c.threads = c.threads[:0]
-	for _, s := range streams {
-		c.threads = append(c.threads, &thread{stream: s, now: start, start: start, spanEnd: start, spanIssue: true})
+	for i, s := range streams {
+		t := &c.thrStore[i]
+		loads := t.loads[:0] // keep the FIFO's backing array across phases
+		*t = thread{stream: s, now: start, start: start, spanEnd: start, spanIssue: true, loads: loads}
+		c.threads = append(c.threads, t)
 	}
-	c.demandPool = c.demandPool[:0]
-	c.prefetchPool = c.prefetchPool[:0]
+	c.demand.reset()
+	c.prefetch.reset()
 }
 
 // Done reports whether all contexts have drained their streams.
@@ -224,17 +287,31 @@ func (c *Core) Collect() CoreResult {
 	return res
 }
 
+// nextThread returns the runnable context with the smallest clock (ties
+// go to the lower index, as a front-to-back scan would give). It is
+// specialized for the only legal shapes — zero, one, or two contexts —
+// because it runs once per simulated op.
 func (c *Core) nextThread() *thread {
-	var best *thread
-	for _, t := range c.threads {
-		if t.done {
-			continue
+	switch len(c.threads) {
+	case 1:
+		if t := c.threads[0]; !t.done {
+			return t
 		}
-		if best == nil || t.now < best.now {
-			best = t
+	case 2:
+		a, b := c.threads[0], c.threads[1]
+		switch {
+		case a.done && b.done:
+		case a.done:
+			return b
+		case b.done:
+			return a
+		case b.now < a.now:
+			return b
+		default:
+			return a
 		}
 	}
-	return best
+	return nil
 }
 
 func (c *Core) sibling(t *thread) *thread {
@@ -276,8 +353,8 @@ func (c *Core) contention(t *thread) float64 {
 //     prefetch pool, applying backpressure when it is full;
 //   - OpStore updates cache state and never stalls (write buffering).
 func (c *Core) Step(t *thread) {
-	var op Op
-	if !t.stream.Next(&op) {
+	op := &c.op
+	if !t.stream.Next(op) {
 		// Drain: completion waits for the thread's outstanding loads.
 		if n := len(t.loads); n > 0 {
 			if last := t.loads[n-1].completeAt; last > t.now {
@@ -314,17 +391,17 @@ func (c *Core) Step(t *thread) {
 		res := c.hier.Access(int64(t.now), op.Addr, memsim.KindLoad)
 		if res.Latency > c.params.PipelinedLatency {
 			completeAt := t.now + float64(res.Latency)
-			c.drain(&c.demandPool, t.now)
-			c.drain(&c.prefetchPool, t.now)
-			if len(c.demandPool) >= c.params.DemandMLP {
-				c.stallUntil(t, c.demandPool[0])
-				popFront(&c.demandPool)
+			c.demand.drainBefore(t.now)
+			c.prefetch.drainBefore(t.now)
+			if c.demand.size() >= c.params.DemandMLP {
+				c.stallUntil(t, c.demand.front())
+				c.demand.popFront()
 			}
-			if len(c.demandPool)+len(c.prefetchPool) >= c.params.FillBuffers {
+			if c.demand.size()+c.prefetch.size() >= c.params.FillBuffers {
 				c.stallUntil(t, c.earliestFill())
 				c.popEarliestFill()
 			}
-			insertSorted(&c.demandPool, completeAt)
+			c.demand.insert(completeAt)
 			t.loads = append(t.loads, inflightLoad{completeAt: completeAt, seq: t.seq})
 		}
 		// Window occupancy: retire completed loads, then stall if the
@@ -343,13 +420,13 @@ func (c *Core) Step(t *thread) {
 		}
 		res := c.hier.Access(int64(t.now), op.Addr, hint)
 		if res.Latency > c.params.PipelinedLatency {
-			c.drain(&c.demandPool, t.now)
-			c.drain(&c.prefetchPool, t.now)
-			if len(c.demandPool)+len(c.prefetchPool) >= c.params.FillBuffers {
+			c.demand.drainBefore(t.now)
+			c.prefetch.drainBefore(t.now)
+			if c.demand.size()+c.prefetch.size() >= c.params.FillBuffers {
 				c.stallUntil(t, c.earliestFill())
 				c.popEarliestFill()
 			}
-			insertSorted(&c.prefetchPool, t.now+float64(res.Latency))
+			c.prefetch.insert(t.now + float64(res.Latency))
 		}
 
 	default:
@@ -359,31 +436,31 @@ func (c *Core) Step(t *thread) {
 }
 
 // earliestFill returns the soonest completion time across both fill
-// pools (the pools are non-empty when called).
+// pools (the pools are non-empty in aggregate when called).
 func (c *Core) earliestFill() float64 {
 	switch {
-	case len(c.demandPool) == 0:
-		return c.prefetchPool[0]
-	case len(c.prefetchPool) == 0:
-		return c.demandPool[0]
-	case c.demandPool[0] <= c.prefetchPool[0]:
-		return c.demandPool[0]
+	case c.demand.size() == 0:
+		return c.prefetch.front()
+	case c.prefetch.size() == 0:
+		return c.demand.front()
+	case c.demand.front() <= c.prefetch.front():
+		return c.demand.front()
 	default:
-		return c.prefetchPool[0]
+		return c.prefetch.front()
 	}
 }
 
 // popEarliestFill removes the entry earliestFill returned.
 func (c *Core) popEarliestFill() {
 	switch {
-	case len(c.demandPool) == 0:
-		popFront(&c.prefetchPool)
-	case len(c.prefetchPool) == 0:
-		popFront(&c.demandPool)
-	case c.demandPool[0] <= c.prefetchPool[0]:
-		popFront(&c.demandPool)
+	case c.demand.size() == 0:
+		c.prefetch.popFront()
+	case c.prefetch.size() == 0:
+		c.demand.popFront()
+	case c.demand.front() <= c.prefetch.front():
+		c.demand.popFront()
 	default:
-		popFront(&c.prefetchPool)
+		c.prefetch.popFront()
 	}
 }
 
@@ -397,29 +474,6 @@ func (c *Core) stallUntil(t *thread, wake float64) {
 	}
 }
 
-// drain removes pool entries already completed by time now. Entries are
-// compacted to the front of the backing array (rather than re-slicing
-// forward) so the pool never grows its allocation.
-func (c *Core) drain(pool *[]float64, now float64) {
-	p := *pool
-	i := 0
-	for i < len(p) && p[i] <= now {
-		i++
-	}
-	if i == 0 {
-		return
-	}
-	n := copy(p, p[i:])
-	*pool = p[:n]
-}
-
-// popFront removes the first entry, compacting in place.
-func popFront(pool *[]float64) {
-	p := *pool
-	n := copy(p, p[1:])
-	*pool = p[:n]
-}
-
 func (t *thread) trimLoads() {
 	i := 0
 	for i < len(t.loads) && t.loads[i].completeAt <= t.now {
@@ -430,17 +484,4 @@ func (t *thread) trimLoads() {
 	}
 	n := copy(t.loads, t.loads[i:])
 	t.loads = t.loads[:n]
-}
-
-// insertSorted inserts v keeping the slice ascending. Pools are tiny
-// (≤ tens of entries), so linear insertion is fastest.
-func insertSorted(pool *[]float64, v float64) {
-	p := append(*pool, v)
-	i := len(p) - 1
-	for i > 0 && p[i-1] > v {
-		p[i] = p[i-1]
-		i--
-	}
-	p[i] = v
-	*pool = p
 }

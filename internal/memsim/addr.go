@@ -16,6 +16,9 @@ type Addr uint64
 // LineSize is the cache line size in bytes. All modeled platforms use 64.
 const LineSize = 64
 
+// lineShift is log2(LineSize), for index math that shifts instead of divides.
+const lineShift = 6
+
 // LineAddr returns the line-aligned address containing a.
 func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
 

@@ -1,0 +1,80 @@
+package memsim
+
+import "testing"
+
+// benchParams is a Cascade-Lake-shaped hierarchy with a reduced LLC so the
+// benchmark's working set exercises every level without an 18 MB Reset
+// dominating setup.
+func benchParams() MemParams {
+	return MemParams{
+		L1:         CacheConfig{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LatencyCyc: 5},
+		L2:         CacheConfig{Name: "L2", SizeBytes: 1 << 20, Ways: 16, LatencyCyc: 14},
+		L3:         CacheConfig{Name: "L3", SizeBytes: 8 << 20, Ways: 11, LatencyCyc: 50},
+		DRAM:       DRAMConfig{BaseLatencyCyc: 220, PeakBandwidthBytesPerCyc: 58, QueueSensitivity: 1},
+		HWPrefetch: true,
+	}
+}
+
+// benchAddrs builds a deterministic access string shaped like the embedding
+// stage: short sequential bursts (the within-row pooling walk) separated by
+// pseudo-random jumps between rows (the row-to-row indirection).
+func benchAddrs(n int) []Addr {
+	addrs := make([]Addr, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	var row Addr
+	for i := range addrs {
+		if i%8 == 0 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			row = Addr(state % (1 << 26)) // 64 MB footprint: misses at every level
+		}
+		addrs[i] = LineAddr(row) + Addr(i%8)*LineSize
+	}
+	return addrs
+}
+
+// BenchmarkHierarchyAccess measures the full demand path — L1→L2→L3→DRAM
+// probes, inclusive fills, and hardware-prefetcher training — per access.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	p := benchParams()
+	sh := NewShared(p)
+	h := NewHierarchy(p, sh)
+	addrs := benchAddrs(1 << 14)
+	mask := len(addrs) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now int64
+	for i := 0; i < b.N; i++ {
+		h.Access(now, addrs[i&mask], KindLoad)
+		now += 4
+	}
+}
+
+// BenchmarkCacheLookupHit isolates the tag-scan hit path of one level.
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "L2", SizeBytes: 1 << 20, Ways: 16, LatencyCyc: 14})
+	addrs := make([]Addr, 256)
+	for i := range addrs {
+		addrs[i] = Addr(i) * LineSize
+		c.Fill(addrs[i], 0, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addrs[i&255], true, int64(i))
+	}
+}
+
+// BenchmarkCacheFillEvict isolates the victim-selection path: every fill
+// lands in a full set and evicts its LRU line.
+func BenchmarkCacheFillEvict(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LatencyCyc: 5})
+	addrs := benchAddrs(1 << 12)
+	mask := len(addrs) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(addrs[i&mask], int64(i), false)
+	}
+}

@@ -75,6 +75,9 @@ type Hierarchy struct {
 
 	l1pf HWPrefetcher
 	l2pf HWPrefetcher
+	// pfBuf is the scratch the prefetch engines append candidates into,
+	// reused across accesses (see HWPrefetcher.OnDemandMiss).
+	pfBuf []Addr
 	// HWPrefetchEnabled gates the hardware engines at run time so the
 	// same hierarchy can be reused across design points.
 	HWPrefetchEnabled bool
@@ -171,7 +174,8 @@ func (h *Hierarchy) Access(now int64, a Addr, kind AccessKind) AccessResult {
 	// prefetcher, its fills land in L2 — strong enough to help streaming
 	// code, too weak to matter for row-to-row indirection.
 	if h.HWPrefetchEnabled {
-		for _, pa := range h.l1pf.OnDemandMiss(a) {
+		h.pfBuf = h.l1pf.OnDemandMiss(a, h.pfBuf[:0])
+		for _, pa := range h.pfBuf {
 			h.hwPrefetchInto(now, pa, LevelL2)
 		}
 	}
@@ -184,7 +188,8 @@ func (h *Hierarchy) Access(now int64, a Addr, kind AccessKind) AccessResult {
 		return AccessResult{Level: LevelL2, Latency: lat, InFlightHit: readyAt > now}
 	}
 	if h.HWPrefetchEnabled {
-		for _, pa := range h.l2pf.OnDemandMiss(a) {
+		h.pfBuf = h.l2pf.OnDemandMiss(a, h.pfBuf[:0])
+		for _, pa := range h.pfBuf {
 			h.hwPrefetchInto(now, pa, LevelL2)
 		}
 	}

@@ -10,9 +10,11 @@ package memsim
 // HWPrefetcher is the interface the hierarchy drives on every demand miss
 // (training) to obtain addresses worth prefetching.
 type HWPrefetcher interface {
-	// OnDemandMiss observes a demand miss to line address a and returns
-	// the line addresses to prefetch (possibly none).
-	OnDemandMiss(a Addr) []Addr
+	// OnDemandMiss observes a demand miss to line address a and appends
+	// the line addresses worth prefetching (possibly none) to out,
+	// returning the extended slice. The caller owns out's backing array,
+	// so a steady-state miss stream allocates nothing.
+	OnDemandMiss(a Addr, out []Addr) []Addr
 	// Reset clears training state.
 	Reset()
 }
@@ -22,7 +24,6 @@ type HWPrefetcher interface {
 type NextLinePrefetcher struct {
 	// Degree lines are fetched ahead (typically 1-2).
 	Degree int
-	out    []Addr
 }
 
 // NewNextLinePrefetcher returns a next-line prefetcher of the given degree.
@@ -33,13 +34,12 @@ func NewNextLinePrefetcher(degree int) *NextLinePrefetcher {
 	return &NextLinePrefetcher{Degree: degree}
 }
 
-// OnDemandMiss returns the next Degree sequential lines.
-func (p *NextLinePrefetcher) OnDemandMiss(a Addr) []Addr {
-	p.out = p.out[:0]
+// OnDemandMiss appends the next Degree sequential lines to out.
+func (p *NextLinePrefetcher) OnDemandMiss(a Addr, out []Addr) []Addr {
 	for i := 1; i <= p.Degree; i++ {
-		p.out = append(p.out, a+Addr(i)*LineSize)
+		out = append(out, a+Addr(i)*LineSize)
 	}
-	return p.out
+	return out
 }
 
 // Reset is a no-op: the next-line prefetcher is stateless.
@@ -49,15 +49,22 @@ func (p *NextLinePrefetcher) Reset() {}
 // L2 streamer: it tracks recent miss addresses per 4 KiB region, and once
 // two consecutive misses in a region exhibit the same stride it prefetches
 // Degree further strides ahead.
+//
+// The tracking table is a fixed array of TableSize slots plus a ring FIFO
+// of region tags for eviction order; only the region→slot map involves the
+// allocator, and it stays at TableSize entries, so steady-state training
+// is allocation-free.
 type StridePrefetcher struct {
 	// Degree strides are fetched once a stream is confirmed.
 	Degree int
 	// TableSize bounds the number of concurrently tracked regions.
 	TableSize int
 
-	entries map[Addr]*strideEntry
-	fifo    []Addr
-	out     []Addr
+	slots   map[Addr]int32 // region tag -> index into entries
+	entries []strideEntry  // TableSize slots
+	fifo    []Addr         // ring of region tags, oldest at head
+	head    int
+	count   int
 }
 
 type strideEntry struct {
@@ -78,39 +85,49 @@ func NewStridePrefetcher(degree, tableSize int) *StridePrefetcher {
 	return &StridePrefetcher{
 		Degree:    degree,
 		TableSize: tableSize,
-		entries:   make(map[Addr]*strideEntry, tableSize),
+		slots:     make(map[Addr]int32, tableSize),
+		entries:   make([]strideEntry, tableSize),
+		fifo:      make([]Addr, tableSize),
 	}
 }
 
 const regionShift = 12 // 4 KiB regions, matching page-bounded HW streamers
 
-// OnDemandMiss trains on the miss and returns prefetch candidates.
-func (p *StridePrefetcher) OnDemandMiss(a Addr) []Addr {
-	p.out = p.out[:0]
+// OnDemandMiss trains on the miss and appends prefetch candidates to out.
+func (p *StridePrefetcher) OnDemandMiss(a Addr, out []Addr) []Addr {
 	region := a >> regionShift
-	e, ok := p.entries[region]
+	si, ok := p.slots[region]
 	if !ok {
-		if len(p.entries) >= p.TableSize {
-			// Evict the oldest tracked region.
-			old := p.fifo[0]
-			p.fifo = p.fifo[1:]
-			delete(p.entries, old)
+		if p.count >= p.TableSize {
+			// Evict the oldest tracked region and reuse its slot.
+			old := p.fifo[p.head]
+			si = p.slots[old]
+			delete(p.slots, old)
+			p.fifo[p.head] = region
+			p.head++
+			if p.head == p.TableSize {
+				p.head = 0
+			}
+		} else {
+			pos := p.head + p.count
+			if pos >= p.TableSize {
+				pos -= p.TableSize
+			}
+			p.fifo[pos] = region
+			si = int32(p.count)
+			p.count++
 		}
-		e = &strideEntry{lastAddr: a}
-		p.entries[region] = e
-		p.fifo = append(p.fifo, region)
-		return nil
+		p.slots[region] = si
+		p.entries[si] = strideEntry{lastAddr: a}
+		return out
 	}
+	e := &p.entries[si]
 	stride := int64(a) - int64(e.lastAddr)
-	if stride != 0 && stride == e.stride {
-		e.confirmed = true
-	} else {
-		e.confirmed = false
-	}
+	e.confirmed = stride != 0 && stride == e.stride
 	e.stride = stride
 	e.lastAddr = a
 	if !e.confirmed || stride == 0 {
-		return nil
+		return out
 	}
 	for i := 1; i <= p.Degree; i++ {
 		next := int64(a) + stride*int64(i)
@@ -121,13 +138,14 @@ func (p *StridePrefetcher) OnDemandMiss(a Addr) []Addr {
 		if Addr(next)>>regionShift != region {
 			break
 		}
-		p.out = append(p.out, LineAddr(Addr(next)))
+		out = append(out, LineAddr(Addr(next)))
 	}
-	return p.out
+	return out
 }
 
 // Reset clears all training state.
 func (p *StridePrefetcher) Reset() {
-	p.entries = make(map[Addr]*strideEntry, p.TableSize)
-	p.fifo = p.fifo[:0]
+	clear(p.slots)
+	p.head = 0
+	p.count = 0
 }

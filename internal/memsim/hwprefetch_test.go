@@ -4,7 +4,7 @@ import "testing"
 
 func TestNextLinePrefetcher(t *testing.T) {
 	p := NewNextLinePrefetcher(2)
-	got := p.OnDemandMiss(0x1000)
+	got := p.OnDemandMiss(0x1000, nil)
 	if len(got) != 2 || got[0] != 0x1040 || got[1] != 0x1080 {
 		t.Fatalf("candidates = %#v", got)
 	}
@@ -21,24 +21,39 @@ func TestStridePrefetcherDetectsConstantStride(t *testing.T) {
 	p := NewStridePrefetcher(2, 8)
 	base := Addr(0x10000)
 	// First two misses train; the third confirms the stride.
-	if got := p.OnDemandMiss(base); got != nil {
+	if got := p.OnDemandMiss(base, nil); len(got) != 0 {
 		t.Fatalf("first miss prefetched %v", got)
 	}
-	if got := p.OnDemandMiss(base + 128); got != nil {
+	if got := p.OnDemandMiss(base+128, nil); len(got) != 0 {
 		t.Fatalf("second miss prefetched %v", got)
 	}
-	got := p.OnDemandMiss(base + 256)
+	got := p.OnDemandMiss(base+256, nil)
 	if len(got) != 2 || got[0] != base+384 || got[1] != base+512 {
 		t.Fatalf("confirmed stride candidates = %#v", got)
+	}
+}
+
+func TestStridePrefetcherAppendsToScratch(t *testing.T) {
+	p := NewStridePrefetcher(1, 8)
+	base := Addr(0x10000)
+	scratch := make([]Addr, 0, 4)
+	p.OnDemandMiss(base, scratch[:0])
+	p.OnDemandMiss(base+64, scratch[:0])
+	got := p.OnDemandMiss(base+128, scratch[:0])
+	if len(got) != 1 || got[0] != base+192 {
+		t.Fatalf("candidates = %#v", got)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("did not reuse the caller's backing array")
 	}
 }
 
 func TestStridePrefetcherIgnoresIrregular(t *testing.T) {
 	p := NewStridePrefetcher(2, 8)
 	base := Addr(0x10000)
-	p.OnDemandMiss(base)
-	p.OnDemandMiss(base + 128)
-	if got := p.OnDemandMiss(base + 500); got != nil {
+	p.OnDemandMiss(base, nil)
+	p.OnDemandMiss(base+128, nil)
+	if got := p.OnDemandMiss(base+500, nil); len(got) != 0 {
 		t.Fatalf("irregular stream prefetched %v", got)
 	}
 }
@@ -46,9 +61,9 @@ func TestStridePrefetcherIgnoresIrregular(t *testing.T) {
 func TestStridePrefetcherStopsAtPageBoundary(t *testing.T) {
 	p := NewStridePrefetcher(8, 8)
 	base := Addr(0x10000) // page-aligned
-	p.OnDemandMiss(base + 4096 - 3*64)
-	p.OnDemandMiss(base + 4096 - 2*64)
-	got := p.OnDemandMiss(base + 4096 - 1*64)
+	p.OnDemandMiss(base+4096-3*64, nil)
+	p.OnDemandMiss(base+4096-2*64, nil)
+	got := p.OnDemandMiss(base+4096-1*64, nil)
 	if len(got) != 0 {
 		t.Fatalf("crossed 4KiB boundary: %#v", got)
 	}
@@ -57,22 +72,46 @@ func TestStridePrefetcherStopsAtPageBoundary(t *testing.T) {
 func TestStridePrefetcherTableEviction(t *testing.T) {
 	p := NewStridePrefetcher(1, 2)
 	// Train three regions; the first must be evicted.
-	p.OnDemandMiss(0x0000)
-	p.OnDemandMiss(0x2000)
-	p.OnDemandMiss(0x4000)
-	if len(p.entries) != 2 {
-		t.Fatalf("table size = %d", len(p.entries))
+	p.OnDemandMiss(0x0000, nil)
+	p.OnDemandMiss(0x2000, nil)
+	p.OnDemandMiss(0x4000, nil)
+	if len(p.slots) != 2 {
+		t.Fatalf("table size = %d", len(p.slots))
 	}
-	if _, ok := p.entries[0]; ok {
+	if _, ok := p.slots[0]; ok {
 		t.Fatal("oldest region not evicted")
+	}
+}
+
+func TestStridePrefetcherEvictionReusesSlots(t *testing.T) {
+	p := NewStridePrefetcher(1, 2)
+	base := Addr(0x10000)
+	// Fill the table, then churn through more regions than it holds.
+	for i := 0; i < 6; i++ {
+		p.OnDemandMiss(base+Addr(i)<<regionShift, nil)
+	}
+	if len(p.slots) != 2 || p.count != 2 {
+		t.Fatalf("slots = %d count = %d", len(p.slots), p.count)
+	}
+	// The survivor set must be the two most recent regions.
+	for i := 4; i < 6; i++ {
+		if _, ok := p.slots[(base+Addr(i)<<regionShift)>>regionShift]; !ok {
+			t.Fatalf("recent region %d missing", i)
+		}
+	}
+	// A surviving region still trains: two strided misses confirm.
+	a := base + 5<<regionShift
+	p.OnDemandMiss(a+64, nil)
+	if got := p.OnDemandMiss(a+128, nil); len(got) != 1 {
+		t.Fatalf("stream in reused slot not confirmed: %#v", got)
 	}
 }
 
 func TestStridePrefetcherReset(t *testing.T) {
 	p := NewStridePrefetcher(1, 4)
-	p.OnDemandMiss(0x1000)
+	p.OnDemandMiss(0x1000, nil)
 	p.Reset()
-	if len(p.entries) != 0 || len(p.fifo) != 0 {
+	if len(p.slots) != 0 || p.count != 0 {
 		t.Fatal("reset incomplete")
 	}
 }

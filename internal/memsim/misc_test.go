@@ -90,7 +90,7 @@ func TestNewStridePrefetcherDefaults(t *testing.T) {
 func TestNextLinePrefetcherReset(t *testing.T) {
 	p := NewNextLinePrefetcher(1)
 	p.Reset() // stateless; must not panic
-	if got := p.OnDemandMiss(0); len(got) != 1 {
+	if got := p.OnDemandMiss(0, nil); len(got) != 1 {
 		t.Fatal("reset broke the prefetcher")
 	}
 }

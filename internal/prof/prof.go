@@ -1,0 +1,48 @@
+// Package prof wires runtime/pprof into the CLIs behind
+// -cpuprofile/-memprofile flags, mirroring `go test`'s flags of the same
+// name so the profiles drop straight into `go tool pprof`.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (empty = disabled) and returns a
+// stop function that finishes the CPU profile and, when memPath is
+// non-empty, writes a heap profile on the way out. Profiles are written
+// only on a clean shutdown: callers invoke stop before a normal exit, and
+// error paths that os.Exit simply lose the profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// Flush dead objects so the profile shows live heap, not garbage.
+		runtime.GC()
+		return pprof.WriteHeapProfile(f)
+	}, nil
+}

@@ -21,6 +21,13 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// SeededRNG returns a generator value seeded with seed. It produces the
+// same stream as NewRNG(seed); hot paths that create one generator per
+// simulated entity use it to keep the state on the stack.
+func SeededRNG(seed uint64) RNG {
+	return RNG{state: seed}
+}
+
 // Split derives an independent generator from r. The derived stream is
 // decorrelated from r's future output, so parallel workers can each take a
 // split without sharing state.

@@ -44,6 +44,12 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 	return z
 }
 
+// NewSharedZipf returns a sampler with no generator of its own, for use
+// with SampleWith only. Construction never draws from the generator, so a
+// shared sampler plus per-stream generators yields exactly the streams
+// that per-stream samplers would.
+func NewSharedZipf(n int, s float64) *Zipf { return NewZipf(nil, n, s) }
+
 // h is the antiderivative of x^-s used by rejection-inversion.
 func (z *Zipf) h(x float64) float64 {
 	return math.Exp(z.oneMinusS*math.Log(x)) * z.invOneMinusS
@@ -54,9 +60,14 @@ func (z *Zipf) hInv(x float64) float64 {
 }
 
 // Sample returns a rank in [0, n). Rank 0 is the hottest.
-func (z *Zipf) Sample() int {
+func (z *Zipf) Sample() int { return z.SampleWith(z.rng) }
+
+// SampleWith draws a rank using r instead of the sampler's own stream.
+// The sampler's constants depend only on (n, s), so one Zipf can serve
+// many independent streams — construction is the expensive part.
+func (z *Zipf) SampleWith(r *RNG) int {
 	for {
-		u := z.hImaxPlus1 + z.rng.Float64()*(z.hx0-z.hImaxPlus1)
+		u := z.hImaxPlus1 + r.Float64()*(z.hx0-z.hImaxPlus1)
 		x := z.hInv(u)
 		k := math.Floor(x + 0.5)
 		if k < 1 {
