@@ -12,7 +12,10 @@ BENCH_PKGS  ?= . ./internal/memsim ./internal/cpusim ./internal/cluster
 BENCHTIME   ?= 2s
 BENCH_N     ?= 0
 
-.PHONY: build vet test race bench bench-json bench-compare golden verify
+.PHONY: build vet test race bench bench-json bench-compare golden fuzz verify
+
+# Per-target budget for `make fuzz` (matches CI's fuzz-smoke job).
+FUZZTIME ?= 20s
 
 build:
 	$(GO) build ./...
@@ -51,5 +54,14 @@ bench-compare:
 # simulator arithmetic (review the diff — this is the regression baseline).
 golden:
 	$(GO) test ./internal/exp -run TestGoldenRegression -update
+
+# Fuzz the structural invariants: cache residency/accounting, shard-plan
+# row ownership, and seed-splitting collision freedom. Each target gets
+# FUZZTIME; the checked-in corpora under testdata/fuzz run on every plain
+# `make test` as ordinary seed cases.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCacheAccess -fuzztime $(FUZZTIME) ./internal/memsim
+	$(GO) test -run '^$$' -fuzz FuzzShardPlan -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzSplitSeed -fuzztime $(FUZZTIME) ./internal/stats
 
 verify: build vet test race

@@ -7,6 +7,9 @@
 //	dlrmbench -exp fig13,fig15         # selected artifacts
 //	dlrmbench -exp tab4 -scale 1       # paper-scale model (slow)
 //	dlrmbench -exp all -workers 1      # sequential (default: all CPUs)
+//	dlrmbench -exp all -checkpoint dir # persist cells; an interrupted
+//	                                   # re-run resumes where it stopped
+//	dlrmbench -exp all -keepgoing      # complete the sweep past failures
 //	dlrmbench -list                    # list experiment IDs
 //
 // -scale divides model dimensions (tables, lookups, rows, MLP widths);
@@ -21,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"dlrmsim/internal/check"
 	"dlrmsim/internal/exp"
 	"dlrmsim/internal/prof"
 )
@@ -45,10 +50,15 @@ func main() {
 		format    = flag.String("format", "text", "output format: text | csv")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		quietTime = flag.Bool("notime", false, "suppress timing output")
+		ckptDir   = flag.String("checkpoint", "", "persist completed design points to this directory and resume from it")
+		resume    = flag.Bool("resume", true, "with -checkpoint: reuse cells already in the store (false = recompute and overwrite)")
+		keepGoing = flag.Bool("keepgoing", false, "complete the sweep past failed experiments; report failures and exit 1")
+		checkMode = flag.Bool("check", false, "enable runtime invariant assertions (debug; slower)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	check.Enabled = *checkMode
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -62,6 +72,37 @@ func main() {
 	if *expFlag != "all" {
 		ids = strings.Split(*expFlag, ",")
 	}
+	cfg := exp.Config{
+		Scale:               *scale,
+		BatchSize:           *batch,
+		Batches:             *batches,
+		Cores:               *cores,
+		Seed:                *seed,
+		BandwidthIterations: *bwIters,
+	}
+	// Fail on every bad flag at once, before any simulation starts.
+	var flagErrs []error
+	if err := cfg.Validate(); err != nil {
+		flagErrs = append(flagErrs, err)
+	}
+	if *format != "text" && *format != "csv" {
+		flagErrs = append(flagErrs, fmt.Errorf("unknown -format %q (want text or csv)", *format))
+	}
+	if *workers < 1 {
+		flagErrs = append(flagErrs, fmt.Errorf("-workers %d (want >= 1)", *workers))
+	}
+	resumeSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "resume" {
+			resumeSet = true
+		}
+	})
+	if resumeSet && *ckptDir == "" {
+		flagErrs = append(flagErrs, fmt.Errorf("-resume without -checkpoint has no effect"))
+	}
+	if len(flagErrs) > 0 {
+		fail(errors.Join(flagErrs...))
+	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		fail(err)
@@ -71,14 +112,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dlrmbench:", err)
 		}
 	}()
-	x := exp.NewContext(exp.Config{
-		Scale:               *scale,
-		BatchSize:           *batch,
-		Batches:             *batches,
-		Cores:               *cores,
-		Seed:                *seed,
-		BandwidthIterations: *bwIters,
-	})
+	x := exp.NewContext(cfg)
+	var cp *exp.Checkpoint
+	if *ckptDir != "" {
+		cp, err = exp.OpenCheckpoint(*ckptDir)
+		if err != nil {
+			fail(err)
+		}
+		defer cp.Close()
+		cp.SetWriteOnly(!*resume)
+		x.WithCheckpoint(cp)
+	}
 	if *format == "text" {
 		fmt.Printf("dlrmbench: scale=1/%d batch=%d batches=%d seed=%d\n\n",
 			x.Cfg.Scale, x.Cfg.BatchSize, x.Cfg.Batches, x.Cfg.Seed)
@@ -93,7 +137,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	reportStore := func() {
+		if cp == nil || *quietTime || *format != "text" {
+			return
+		}
+		s := cp.Stats()
+		fmt.Printf("(checkpoint %s: %d resumed, %d simulated", cp.Dir(), s.Hits, s.Writes)
+		if s.Corrupt > 0 {
+			fmt.Printf(", %d corrupt entries recomputed", s.Corrupt)
+		}
+		if s.WriteErrors > 0 {
+			fmt.Printf(", %d write errors", s.WriteErrors)
+		}
+		fmt.Printf(")\n")
+	}
 	ctx := context.Background()
+	if *keepGoing {
+		start := time.Now()
+		tables, failures, err := exp.RunAllKeepGoing(ctx, x, ids, *workers)
+		if err != nil {
+			fail(err)
+		}
+		for _, tbl := range tables {
+			if tbl != nil {
+				render(tbl)
+			}
+		}
+		if !*quietTime && *format == "text" {
+			fmt.Printf("(%d/%d experiments completed in %.1fs with %d workers)\n",
+				len(tables)-len(failures), len(tables), time.Since(start).Seconds(), *workers)
+		}
+		reportStore()
+		if len(failures) > 0 {
+			fmt.Fprint(os.Stderr, exp.FormatFailures(failures))
+			os.Exit(1)
+		}
+		return
+	}
 	if *workers == 1 {
 		// Sequential path: render and time each artifact as it completes.
 		for _, id := range ids {
@@ -107,6 +187,7 @@ func main() {
 				fmt.Printf("(%s completed in %.1fs)\n\n", tables[0].ID, time.Since(start).Seconds())
 			}
 		}
+		reportStore()
 		return
 	}
 	start := time.Now()
@@ -121,6 +202,7 @@ func main() {
 		fmt.Printf("(%d experiments completed in %.1fs with %d workers)\n",
 			len(tables), time.Since(start).Seconds(), *workers)
 	}
+	reportStore()
 }
 
 func fail(err error) {

@@ -10,12 +10,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"dlrmsim/internal/check"
 	"dlrmsim/internal/cluster"
 	"dlrmsim/internal/core"
 	"dlrmsim/internal/dlrm"
@@ -54,10 +56,45 @@ func main() {
 		retries    = flag.Int("retries", 0, "max timeout retries down the standby chain")
 		hedge      = flag.Float64("hedge", 0, "hedged-request delay in ms (0 = no hedging)")
 		degraded   = flag.Bool("degraded", false, "join with partial results at the retry budget's deadline")
+		checkMode  = flag.Bool("check", false, "enable runtime invariant assertions (debug; slower)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	check.Enabled = *checkMode
+
+	// Fail on every bad flag at once, before the engine run starts.
+	var flagErrs []error
+	if *scale < 1 {
+		flagErrs = append(flagErrs, fmt.Errorf("-scale %d (want >= 1)", *scale))
+	}
+	if *nodes < 1 {
+		flagErrs = append(flagErrs, fmt.Errorf("-nodes %d (want >= 1)", *nodes))
+	}
+	if *batch < 1 {
+		flagErrs = append(flagErrs, fmt.Errorf("-batch %d (want >= 1)", *batch))
+	}
+	if *servers < 1 {
+		flagErrs = append(flagErrs, fmt.Errorf("-servers %d (want >= 1)", *servers))
+	}
+	if *cores < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-cores %d (want >= 0)", *cores))
+	}
+	if *queries < 1 {
+		flagErrs = append(flagErrs, fmt.Errorf("-queries %d (want >= 1)", *queries))
+	}
+	if *arrival < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-arrival %g (want >= 0)", *arrival))
+	}
+	if *arrival == 0 && (*util <= 0 || *util >= 1) {
+		flagErrs = append(flagErrs, fmt.Errorf("-util %g outside (0,1)", *util))
+	}
+	if *netLat < 0 || *netBW < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("negative network parameters (-netlat %g, -netbw %g)", *netLat, *netBW))
+	}
+	if len(flagErrs) > 0 {
+		fatal(errors.Join(flagErrs...))
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -137,6 +174,10 @@ func main() {
 	}
 	if cfg.MeanArrivalMs <= 0 {
 		cfg.MeanArrivalMs = cluster.ArrivalForUtilization(plan, tm, *batch, *servers, *util)
+	}
+	// Collect every fault/mitigation/geometry violation in one report.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("dlrmcluster: %s (scale 1/%d), %v, %s per-node design\n",

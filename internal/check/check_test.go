@@ -1,0 +1,27 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssertDisabledIsNoOp(t *testing.T) {
+	defer func(old bool) { Enabled = old }(Enabled)
+	Enabled = false
+	Assert(false, "must not fire when disabled")
+}
+
+func TestAssertEnabledPanicsWithMessage(t *testing.T) {
+	defer func(old bool) { Enabled = old }(Enabled)
+	Enabled = true
+	Assert(true, "must not fire on a true condition")
+	defer func() {
+		r := recover()
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "invariant violated") || !strings.Contains(s, "x=7") {
+			t.Errorf("panic = %v, want formatted invariant message", r)
+		}
+	}()
+	Assert(false, "x=%d", 7)
+	t.Fatal("Assert(false) did not panic with Enabled set")
+}

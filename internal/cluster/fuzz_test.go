@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+
+	"dlrmsim/internal/dlrm"
+)
+
+// FuzzShardPlan checks the sharding invariant every router decision rests
+// on: for any plan geometry, every (table, rank) resolves through the
+// rank→row bijection to exactly one owning node in range, every row is
+// reached by exactly one rank (the affine map is a permutation), and the
+// per-node shard bytes account for every table exactly once.
+func FuzzShardPlan(f *testing.F) {
+	f.Add(uint8(4), uint16(64), uint8(3), false, uint8(0), uint64(1))
+	f.Add(uint8(1), uint16(1), uint8(1), true, uint8(255), uint64(42))
+	f.Add(uint8(8), uint16(1023), uint8(16), true, uint8(10), uint64(7))
+	f.Fuzz(func(t *testing.T, tables uint8, rows uint16, nodes uint8, rowRange bool, fracByte uint8, seed uint64) {
+		model := dlrm.RM2Small()
+		model.Tables = int(tables%8) + 1
+		model.RowsPerTable = int(rows%2048) + 1
+		policy := TableWise
+		if rowRange {
+			policy = RowRange
+		}
+		frac := float64(fracByte) / 255
+		plan, err := NewPlan(model, int(nodes%16)+1, policy, frac, seed)
+		if err != nil {
+			t.Skip() // invalid geometry is NewPlan's to reject, not ours
+		}
+		if plan.HotRows > model.RowsPerTable {
+			t.Fatalf("HotRows %d exceeds table height %d", plan.HotRows, model.RowsPerTable)
+		}
+		for tb := 0; tb < model.Tables; tb++ {
+			seen := make([]int, model.RowsPerTable) // rank count per row
+			for rank := 0; rank < model.RowsPerTable; rank++ {
+				row := plan.rowOfRank(tb, rank)
+				if row < 0 || int(row) >= model.RowsPerTable {
+					t.Fatalf("table %d rank %d: row %d out of range [0,%d)", tb, rank, row, model.RowsPerTable)
+				}
+				seen[row]++
+				owner := plan.Owner(tb, row)
+				if owner < 0 || owner >= plan.Nodes {
+					t.Fatalf("table %d row %d: owner %d out of range [0,%d)", tb, row, owner, plan.Nodes)
+				}
+			}
+			for row, n := range seen {
+				if n != 1 {
+					t.Fatalf("table %d row %d reached by %d ranks; want exactly 1", tb, row, n)
+				}
+			}
+		}
+		// Owned bytes must cover the whole model exactly once: replicas are
+		// accounted separately, so sum(ShardBytes) == all tables' bytes.
+		var sum int64
+		for _, b := range plan.ShardBytes {
+			if b < 0 {
+				t.Fatalf("negative shard bytes %d", b)
+			}
+			sum += b
+		}
+		if want := model.PerTableBytes() * int64(model.Tables); sum != want {
+			t.Fatalf("shards sum to %d bytes, want %d (every row owned exactly once)", sum, want)
+		}
+	})
+}

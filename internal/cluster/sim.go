@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 
+	"dlrmsim/internal/check"
 	"dlrmsim/internal/serve"
 	"dlrmsim/internal/stats"
 	"dlrmsim/internal/trace"
@@ -247,8 +248,14 @@ func (s *simState) run() {
 		}
 	})
 	cfg := &s.cfg
+	prevArrive := math.Inf(-1)
 	for i := range s.copies {
 		c := &s.copies[i]
+		if check.Enabled {
+			check.Assert(c.arrive >= prevArrive && !math.IsNaN(c.arrive),
+				"cluster: copy arrivals not monotone (%g after %g)", c.arrive, prevArrive)
+			prevArrive = c.arrive
+		}
 		sub := &s.subs[c.sub]
 		if c.kind != copyPrimary && sub.best <= c.launch {
 			continue // a response arrived before this deadline; never sent
@@ -517,6 +524,12 @@ func Simulate(cfg Config) (Result, error) {
 	}
 	if busySum > 0 {
 		res.Imbalance = busyMax / (busySum / float64(plan.Nodes))
+	}
+	if check.Enabled {
+		finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+		check.Assert(finite(res.P50) && finite(res.P99) && finite(res.Mean) && finite(res.Utilization),
+			"cluster: non-finite latency summary (p50 %g, p99 %g, mean %g, util %g)",
+			res.P50, res.P99, res.Mean, res.Utilization)
 	}
 	return res, nil
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
+	"dlrmsim/internal/check"
 	"dlrmsim/internal/cpusim"
 	"dlrmsim/internal/dlrm"
 	"dlrmsim/internal/embedding"
@@ -69,6 +71,13 @@ type Options struct {
 func (o *Options) applyDefaults() error {
 	if o.CPU.Name == "" {
 		o.CPU = platform.CascadeLake()
+	}
+	// Reject what no default can repair. Negative batch geometry used to
+	// slip through (zero means default, so only == 0 was checked) and
+	// surfaced as empty work lists and zero-division NaNs downstream.
+	if o.BatchSize < 0 || o.Batches < 0 || o.BandwidthIterations < 0 {
+		return fmt.Errorf("core: negative run geometry (batch %d, batches %d, bwiters %d)",
+			o.BatchSize, o.Batches, o.BandwidthIterations)
 	}
 	if o.BatchSize == 0 {
 		o.BatchSize = 64
@@ -331,6 +340,13 @@ func RunContext(ctx context.Context, opts Options) (Report, error) {
 		if v := res.MeanPhaseCycles(label); v > 0 {
 			rep.StageCycles[label] = v
 		}
+	}
+	if check.Enabled {
+		finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+		check.Assert(finite(rep.BatchLatencyCycles) && finite(rep.BatchLatencyMs) &&
+			finite(rep.ThroughputBatchesPerSec) && finite(rep.AvgLoadLatency) &&
+			finite(rep.BandwidthGBs) && finite(rep.BandwidthUtilization),
+			"core: non-finite report for %s/%v/%v", rep.ModelName, rep.Scheme, rep.Hotness)
 	}
 	return rep, nil
 }

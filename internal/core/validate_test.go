@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/platform"
+)
+
+// TestValidateCollectsAllViolations: one call reports every problem, not
+// just the first — the CLI contract that lets a user fix a whole bad flag
+// set in one round trip.
+func TestValidateCollectsAllViolations(t *testing.T) {
+	opts := Options{
+		Model:               dlrm.RM2Small(),
+		BatchSize:           -1,
+		Batches:             -2,
+		Cores:               1000,
+		Scheme:              Scheme(99),
+		BandwidthIterations: -3,
+	}
+	err := opts.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a config with five violations")
+	}
+	for _, want := range []string{
+		"negative batch size -1",
+		"negative batch count -2",
+		"1000 cores",
+		"invalid scheme 99",
+		"negative bandwidth iterations -3",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestValidateAcceptsZeroMeansDefault(t *testing.T) {
+	if err := (Options{Model: dlrm.RM2Small()}).Validate(); err != nil {
+		t.Errorf("zero-valued options rejected: %v", err)
+	}
+	opts := Options{Model: dlrm.RM2Small(), CPU: platform.IceLake(), Cores: 32}
+	if err := opts.Validate(); err != nil {
+		t.Errorf("full platform core count rejected: %v", err)
+	}
+}
+
+func TestValidateEmbeddingOnlySMT(t *testing.T) {
+	opts := Options{Model: dlrm.RM2Small(), Scheme: MPHT, EmbeddingOnly: true}
+	if err := opts.Validate(); err == nil {
+		t.Error("embedding-only with an SMT scheme accepted")
+	}
+}
+
+// TestRunRejectsNegativeGeometry is the flag-audit regression: negative
+// batch geometry used to slip through applyDefaults (only == 0 was
+// checked) and surfaced as empty work lists and NaN throughput downstream.
+func TestRunRejectsNegativeGeometry(t *testing.T) {
+	for _, opts := range []Options{
+		{Model: dlrm.RM2Small().Scaled(20), BatchSize: -8},
+		{Model: dlrm.RM2Small().Scaled(20), Batches: -1},
+		{Model: dlrm.RM2Small().Scaled(20), BandwidthIterations: -2},
+	} {
+		if _, err := Run(opts); err == nil || !strings.Contains(err.Error(), "negative run geometry") {
+			t.Errorf("Run(%+v) err = %v, want negative-geometry rejection", opts, err)
+		}
+	}
+}

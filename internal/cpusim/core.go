@@ -2,7 +2,9 @@ package cpusim
 
 import (
 	"fmt"
+	"math"
 
+	"dlrmsim/internal/check"
 	"dlrmsim/internal/memsim"
 )
 
@@ -353,6 +355,7 @@ func (c *Core) contention(t *thread) float64 {
 //     prefetch pool, applying backpressure when it is full;
 //   - OpStore updates cache state and never stalls (write buffering).
 func (c *Core) Step(t *thread) {
+	prevNow := t.now
 	op := &c.op
 	if !t.stream.Next(op) {
 		// Drain: completion waits for the thread's outstanding loads.
@@ -433,6 +436,14 @@ func (c *Core) Step(t *thread) {
 		panic(fmt.Sprintf("cpusim: unknown op kind %d", op.Kind))
 	}
 	t.spanEnd = t.now
+	// Per-thread event times are monotonic: every Step rule only ever
+	// advances the clock, and the aggregation above (phase chaining,
+	// fixed-point iteration) depends on it. The Enabled guard keeps the
+	// variadic boxing off the disabled hot path (zero-alloc guards).
+	if check.Enabled {
+		check.Assert(t.now >= prevNow && !math.IsNaN(t.now),
+			"cpusim: thread clock moved backwards (%g -> %g)", prevNow, t.now)
+	}
 }
 
 // earliestFill returns the soonest completion time across both fill

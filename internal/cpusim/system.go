@@ -1,6 +1,7 @@
 package cpusim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -19,6 +20,42 @@ type SystemParams struct {
 	// InitialUtilization seeds the fixed point; useful when the caller
 	// already knows the run is bandwidth-bound.
 	InitialUtilization float64
+}
+
+// Validate reports every problem with the system parameters at once
+// (errors.Join): the core's microarchitectural knobs, the full memory
+// geometry, the core count, and the fixed-point controls. NewSystem
+// panics on the same conditions; Validate is the fail-fast front door for
+// config layers and CLIs.
+func (p SystemParams) Validate() error {
+	var errs []error
+	if p.Cores < 1 {
+		errs = append(errs, fmt.Errorf("cpusim: %d cores", p.Cores))
+	}
+	if err := p.Core.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := p.Mem.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if p.BandwidthIterations < 0 {
+		errs = append(errs, fmt.Errorf("cpusim: negative bandwidth iterations %d", p.BandwidthIterations))
+	}
+	if p.InitialUtilization < 0 || p.InitialUtilization >= 1 {
+		errs = append(errs, fmt.Errorf("cpusim: initial utilization %g outside [0,1)", p.InitialUtilization))
+	}
+	return errors.Join(errs...)
+}
+
+// Validate rejects SMT shapes the core cannot execute: every phase must
+// run one or two streams (one hardware context or an SMT sibling pair).
+func (w CoreWork) Validate() error {
+	for i, ph := range w.Phases {
+		if len(ph.Streams) < 1 || len(ph.Streams) > 2 {
+			return fmt.Errorf("cpusim: phase %d (%q) has %d streams; SMT contexts are 1 or 2", i, ph.Label, len(ph.Streams))
+		}
+	}
+	return nil
 }
 
 // Phase is one stage of a core's pipeline: one stream runs the phase

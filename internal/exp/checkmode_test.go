@@ -1,0 +1,21 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"dlrmsim/internal/check"
+)
+
+// TestCheckModeCleanRun: with runtime invariant assertions enabled (the
+// CLI's -check flag), a representative slice of the registry — engine,
+// memory hierarchy, serving, and cluster tiers — still completes. An
+// invariant that fires on healthy configs would make -check useless for
+// debugging real regressions.
+func TestCheckModeCleanRun(t *testing.T) {
+	defer func(old bool) { check.Enabled = old }(check.Enabled)
+	check.Enabled = true
+	if _, err := RunAll(context.Background(), tinyContext(), []string{"fig1", "fig17", "clu1"}, 2); err != nil {
+		t.Errorf("check-mode run failed: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ package exp
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -36,6 +37,29 @@ type Config struct {
 	Seed uint64
 	// BandwidthIterations for the DRAM fixed point (default 2).
 	BandwidthIterations int
+}
+
+// Validate reports every violation in the sweep config at once
+// (errors.Join), under withDefaults' zero-means-default convention:
+// zero fields are fine, values no default can repair are not.
+func (c Config) Validate() error {
+	var errs []error
+	if c.Scale < 0 {
+		errs = append(errs, fmt.Errorf("exp: negative scale %d", c.Scale))
+	}
+	if c.BatchSize < 0 {
+		errs = append(errs, fmt.Errorf("exp: negative batch size %d", c.BatchSize))
+	}
+	if c.Batches < 0 {
+		errs = append(errs, fmt.Errorf("exp: negative batch count %d", c.Batches))
+	}
+	if c.Cores < 0 {
+		errs = append(errs, fmt.Errorf("exp: negative core count %d", c.Cores))
+	}
+	if c.BandwidthIterations < 0 {
+		errs = append(errs, fmt.Errorf("exp: negative bandwidth iterations %d", c.BandwidthIterations))
+	}
+	return errors.Join(errs...)
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +112,11 @@ type Context struct {
 	// exactly the pre-runner behavior.
 	ctx context.Context
 	sem chan struct{}
+
+	// cp, when non-nil, is the on-disk cell store (WithCheckpoint):
+	// completed cells are persisted as they finish and consulted before
+	// simulating, so an interrupted sweep resumes where it stopped.
+	cp *Checkpoint
 }
 
 // memoCell is the memo entry for one design point. once ensures a single
@@ -130,7 +159,10 @@ func cellKey(opts core.Options) string {
 		opts.BatchSize, opts.Batches, opts.Cores, opts.Prefetch, opts.EmbeddingOnly, opts.Seed)
 }
 
-// Run executes (or recalls) one engine design point.
+// Run executes (or recalls) one engine design point. With a checkpoint
+// armed, a cell already in the store is returned without simulating, and
+// a freshly simulated cell is committed before Run returns; a panic inside
+// the engine is captured as a *CellError rather than propagated.
 func (x *Context) Run(opts core.Options) (core.Report, error) {
 	opts = x.complete(opts)
 	key := cellKey(opts)
@@ -142,9 +174,18 @@ func (x *Context) Run(opts core.Options) (core.Report, error) {
 	}
 	x.mu.Unlock()
 	cell.once.Do(func() {
+		if x.cp != nil {
+			if rep, ok := x.cp.Get(opts); ok {
+				cell.rep = rep
+				return
+			}
+		}
 		release := x.acquire()
 		defer release()
-		cell.rep, cell.err = core.RunContext(x.ctx, opts)
+		cell.rep, cell.err = runCell(x.ctx, opts)
+		if x.cp != nil && cell.err == nil {
+			x.cp.Put(opts, cell.rep)
+		}
 	})
 	return cell.rep, cell.err
 }

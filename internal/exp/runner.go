@@ -69,7 +69,7 @@ func (x *Context) RunMany(cells []core.Options) ([]core.Report, error) {
 		for i, c := range cells {
 			rep, err := x.Run(c)
 			if err != nil {
-				return nil, err
+				return nil, withCellIndex(err, i)
 			}
 			reps[i] = rep
 		}
@@ -85,9 +85,9 @@ func (x *Context) RunMany(cells []core.Options) ([]core.Report, error) {
 		}(i, c)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, withCellIndex(err, i)
 		}
 	}
 	return reps, nil
@@ -98,13 +98,40 @@ func (x *Context) RunMany(cells []core.Options) ([]core.Report, error) {
 // GOMAXPROCS; workers == 1 runs the experiments strictly sequentially on
 // the calling goroutine — the pre-runner path. Unknown IDs fail before
 // anything runs. The first failing cell cancels every in-flight and
-// queued cell of the sweep, and the lowest-index error is returned.
+// queued cell of the sweep, and the lowest-index error is returned; a
+// panic inside any cell or experiment body surfaces as a *CellError in
+// the chain rather than crashing the process.
 func RunAll(ctx context.Context, x *Context, ids []string, workers int) ([]*Table, error) {
+	tables, failures, err := runExperiments(ctx, x, ids, workers, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(failures) > 0 {
+		f := failures[0]
+		return nil, fmt.Errorf("%s: %w", f.ID, f.Err)
+	}
+	return tables, nil
+}
+
+// RunAllKeepGoing is RunAll in fault-isolation mode: a failing or
+// panicking experiment no longer cancels the sweep. Every experiment runs
+// to completion (or failure), tables holds nil at failed indexes, and the
+// failures — in ids order, each carrying the typed *CellError when the
+// cause was a panic — are returned for structured reporting. err is
+// non-nil only for pre-flight problems (unknown IDs), so callers decide
+// the exit code from len(failures).
+func RunAllKeepGoing(ctx context.Context, x *Context, ids []string, workers int) (tables []*Table, failures []Failure, err error) {
+	return runExperiments(ctx, x, ids, workers, true)
+}
+
+// runExperiments is the shared sweep loop. In keepGoing mode errors are
+// collected instead of cancelling the run.
+func runExperiments(ctx context.Context, x *Context, ids []string, workers int, keepGoing bool) ([]*Table, []Failure, error) {
 	exps := make([]Experiment, len(ids))
 	for i, id := range ids {
 		e, err := Get(strings.TrimSpace(id))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		exps[i] = e
 	}
@@ -112,37 +139,38 @@ func RunAll(ctx context.Context, x *Context, ids []string, workers int) ([]*Tabl
 		workers = runtime.GOMAXPROCS(0)
 	}
 	tables := make([]*Table, len(exps))
+	errs := make([]error, len(exps))
 	if workers == 1 {
 		x.WithParallelism(ctx, 1)
 		for i, e := range exps {
-			tbl, err := e.Run(x)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", e.ID, err)
+			tables[i], errs[i] = safeRun(e, x)
+			if errs[i] != nil && !keepGoing {
+				break
 			}
-			tables[i] = tbl
 		}
-		return tables, nil
+	} else {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		x.WithParallelism(ctx, workers)
+		var wg sync.WaitGroup
+		for i, e := range exps {
+			wg.Add(1)
+			go func(i int, e Experiment) {
+				defer wg.Done()
+				tables[i], errs[i] = safeRun(e, x)
+				if errs[i] != nil && !keepGoing {
+					cancel()
+				}
+			}(i, e)
+		}
+		wg.Wait()
 	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	x.WithParallelism(ctx, workers)
-	errs := make([]error, len(exps))
-	var wg sync.WaitGroup
-	for i, e := range exps {
-		wg.Add(1)
-		go func(i int, e Experiment) {
-			defer wg.Done()
-			tables[i], errs[i] = e.Run(x)
-			if errs[i] != nil {
-				cancel()
-			}
-		}(i, e)
-	}
-	wg.Wait()
+	var failures []Failure
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+			failures = append(failures, Failure{ID: exps[i].ID, Err: err})
+			tables[i] = nil
 		}
 	}
-	return tables, nil
+	return tables, failures, nil
 }

@@ -3,6 +3,8 @@ package memsim
 import (
 	"fmt"
 	"math/bits"
+
+	"dlrmsim/internal/check"
 )
 
 // CacheConfig describes one cache level's geometry and hit latency.
@@ -190,6 +192,18 @@ func (c *Cache) Fill(a Addr, readyAt int64, prefetch bool) {
 	c.pref[victim] = prefetch
 	if prefetch {
 		c.Stats.PrefetchFills++
+	}
+	if check.Enabled {
+		// Set occupancy can never exceed the associativity, and a tag must
+		// be resident at most once — a duplicate would make hit accounting
+		// and LRU recency nonsense.
+		dup := 0
+		for i := base; i < base+c.ways; i++ {
+			if c.tags[i] == want {
+				dup++
+			}
+		}
+		check.Assert(dup == 1, "memsim: %s: tag %#x resident %d times in one set", c.cfg.Name, want, dup)
 	}
 }
 

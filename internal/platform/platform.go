@@ -10,6 +10,7 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 
 	"dlrmsim/internal/cpusim"
@@ -37,6 +38,35 @@ type CPU struct {
 	// software-prefetch settings the paper reports (§6.4).
 	TunedPFDist   int
 	TunedPFBlocks int
+}
+
+// Validate reports every problem with the platform description at once:
+// core knobs, memory geometry, clock, and tuning defaults.
+func (c CPU) Validate() error {
+	var errs []error
+	if c.Name == "" {
+		errs = append(errs, fmt.Errorf("platform: empty name"))
+	}
+	if c.Cores < 1 {
+		errs = append(errs, fmt.Errorf("platform: %s: %d cores", c.Name, c.Cores))
+	}
+	if c.FrequencyGHz <= 0 {
+		errs = append(errs, fmt.Errorf("platform: %s: non-positive frequency %g GHz", c.Name, c.FrequencyGHz))
+	}
+	if c.FlopsPerCycle <= 0 {
+		errs = append(errs, fmt.Errorf("platform: %s: non-positive FLOPs/cycle %g", c.Name, c.FlopsPerCycle))
+	}
+	if c.TunedPFDist < 0 || c.TunedPFBlocks < 0 {
+		errs = append(errs, fmt.Errorf("platform: %s: negative tuned prefetch knobs (%d, %d)",
+			c.Name, c.TunedPFDist, c.TunedPFBlocks))
+	}
+	if err := c.Core.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := c.Mem.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // CyclesToMs converts simulated cycles to milliseconds on this part.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"dlrmsim/internal/check"
 	"dlrmsim/internal/stats"
 )
 
@@ -130,6 +131,10 @@ func (q *Queue) Submit(arrival, service float64) (start, done float64) {
 	done = start + service
 	q.free[best] = done
 	q.busy += service
+	if check.Enabled {
+		check.Assert(start >= arrival && done >= start && !math.IsNaN(done),
+			"serve: queue broke causality (arrival %g, start %g, done %g)", arrival, start, done)
+	}
 	return start, done
 }
 
