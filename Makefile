@@ -56,12 +56,14 @@ golden:
 	$(GO) test ./internal/exp -run TestGoldenRegression -update
 
 # Fuzz the structural invariants: cache residency/accounting, shard-plan
-# row ownership, and seed-splitting collision freedom. Each target gets
-# FUZZTIME; the checked-in corpora under testdata/fuzz run on every plain
-# `make test` as ordinary seed cases.
+# row ownership, seed-splitting collision freedom, and arrival-stream
+# monotonicity/determinism. Each target gets FUZZTIME; the checked-in
+# corpora under testdata/fuzz run on every plain `make test` as ordinary
+# seed cases.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCacheAccess -fuzztime $(FUZZTIME) ./internal/memsim
 	$(GO) test -run '^$$' -fuzz FuzzShardPlan -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzSplitSeed -fuzztime $(FUZZTIME) ./internal/stats
+	$(GO) test -run '^$$' -fuzz FuzzArrivalStream -fuzztime $(FUZZTIME) ./internal/traffic
 
 verify: build vet test race

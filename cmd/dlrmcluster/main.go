@@ -7,6 +7,7 @@
 //
 //	dlrmcluster -model rm2_1 -nodes 8 -policy rowrange -hotness high
 //	dlrmcluster -scheme integrated -replicate 0,0.01,0.05 -netlat 0.1
+//	dlrmcluster -open -util 1.2 -arrivals mmpp -burst-every 2 -burst-dur 0.3 -admit shed -admit-budget 0.5
 package main
 
 import (
@@ -24,25 +25,196 @@ import (
 	"dlrmsim/internal/platform"
 	"dlrmsim/internal/prof"
 	"dlrmsim/internal/trace"
+	"dlrmsim/internal/traffic"
 )
 
+// mainFlags carries every load-geometry and traffic flag so that flag
+// validation and open-loop assembly are plain functions a test can drive
+// without an engine run or an os.Exit.
+type mainFlags struct {
+	scale, nodes, batch, servers, cores, queries int
+	arrival, util, netLat, netBW                 float64
+
+	// Open-loop live-traffic mode (-open).
+	open                              bool
+	rate, duration, openWarmup, sla   float64
+	arrivals                          string
+	burstFactor, burstEvery, burstDur float64
+	day, diurnal                      float64
+	flashEvery, flashDur, flashFactor float64
+	users                             int
+	revisit, affinity                 float64
+	admit                             string
+	admitBudget                       float64
+	startNodes                        int
+	scaleEvery, scaleUp, scaleDown    float64
+	provision                         float64
+	minNodes, maxNodes                int
+}
+
+// openOnlyFlags maps each open-loop flag name to a short reason it is
+// meaningless without -open; validate uses it to reject misplaced knobs
+// in one pass instead of silently ignoring them.
+var openOnlyFlags = []string{
+	"rate", "duration", "open-warmup", "sla", "arrivals",
+	"burst-factor", "burst-every", "burst-dur",
+	"day", "diurnal", "flash-every", "flash-dur", "flash-factor",
+	"users", "revisit", "affinity", "admit", "admit-budget",
+	"start-nodes", "scale-every", "scale-up", "scale-down", "provision",
+	"min-nodes", "max-nodes",
+}
+
+// validate reports every bad flag at once, before the engine run starts.
+// isSet reports whether a flag was given explicitly on the command line —
+// needed because several flags have meaningful non-zero defaults that are
+// only wired through when their enabling flag is present.
+func (o mainFlags) validate(isSet func(string) bool) error {
+	var errs []error
+	if o.scale < 1 {
+		errs = append(errs, fmt.Errorf("-scale %d (want >= 1)", o.scale))
+	}
+	if o.nodes < 1 {
+		errs = append(errs, fmt.Errorf("-nodes %d (want >= 1)", o.nodes))
+	}
+	if o.batch < 1 {
+		errs = append(errs, fmt.Errorf("-batch %d (want >= 1)", o.batch))
+	}
+	if o.servers < 1 {
+		errs = append(errs, fmt.Errorf("-servers %d (want >= 1)", o.servers))
+	}
+	if o.cores < 0 {
+		errs = append(errs, fmt.Errorf("-cores %d (want >= 0)", o.cores))
+	}
+	if o.netLat < 0 || o.netBW < 0 {
+		errs = append(errs, fmt.Errorf("negative network parameters (-netlat %g, -netbw %g)", o.netLat, o.netBW))
+	}
+	if !o.open {
+		for _, name := range openOnlyFlags {
+			if isSet(name) {
+				errs = append(errs, fmt.Errorf("-%s needs -open", name))
+			}
+		}
+		if o.queries < 1 {
+			errs = append(errs, fmt.Errorf("-queries %d (want >= 1)", o.queries))
+		}
+		if o.arrival < 0 {
+			errs = append(errs, fmt.Errorf("-arrival %g (want >= 0)", o.arrival))
+		}
+		if o.arrival == 0 && (o.util <= 0 || o.util >= 1) {
+			errs = append(errs, fmt.Errorf("-util %g outside (0,1)", o.util))
+		}
+		return errors.Join(errs...)
+	}
+	// Open-loop mode: the closed-loop load knobs are the misplaced ones,
+	// and offered load may deliberately exceed capacity (-util >= 1).
+	for _, name := range []string{"arrival", "queries"} {
+		if isSet(name) {
+			errs = append(errs, fmt.Errorf("-%s is a closed-loop flag, unused with -open", name))
+		}
+	}
+	if o.rate < 0 {
+		errs = append(errs, fmt.Errorf("-rate %g (want >= 0; 0 derives from -util)", o.rate))
+	}
+	if o.rate == 0 && o.util <= 0 {
+		errs = append(errs, fmt.Errorf("-util %g (want > 0 to derive the open-loop rate)", o.util))
+	}
+	if o.duration < 0 {
+		errs = append(errs, fmt.Errorf("-duration %g ms (want >= 0; 0 runs 1000 mean arrival periods)", o.duration))
+	}
+	if o.openWarmup < 0 && o.openWarmup != -1 {
+		errs = append(errs, fmt.Errorf("-open-warmup %g ms (use -1 for explicitly no warmup)", o.openWarmup))
+	}
+	if o.sla < 0 {
+		errs = append(errs, fmt.Errorf("-sla %g ms (want >= 0; 0 derives from the per-query work)", o.sla))
+	}
+	if o.arrivals != "mmpp" {
+		for _, name := range []string{"burst-factor", "burst-every", "burst-dur"} {
+			if isSet(name) {
+				errs = append(errs, fmt.Errorf("-%s needs -arrivals mmpp", name))
+			}
+		}
+	}
+	if o.flashEvery == 0 && isSet("flash-factor") {
+		errs = append(errs, fmt.Errorf("-flash-factor needs -flash-every"))
+	}
+	if o.users == 0 {
+		for _, name := range []string{"revisit", "affinity"} {
+			if isSet(name) {
+				errs = append(errs, fmt.Errorf("-%s needs -users", name))
+			}
+		}
+	}
+	if o.scaleEvery == 0 {
+		for _, name := range []string{"scale-up", "scale-down", "provision", "min-nodes", "max-nodes"} {
+			if isSet(name) {
+				errs = append(errs, fmt.Errorf("-%s needs -scale-every", name))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// openLoop assembles the cluster.OpenLoop config from resolved flags
+// (rate, duration, and sla defaults already filled in). Knobs of disabled
+// features are deliberately left zero — the cluster tier rejects
+// misplaced knobs, and validate has already explained any the user set.
+func (o mainFlags) openLoop() (*cluster.OpenLoop, error) {
+	am, err := traffic.ParseModel(o.arrivals)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := cluster.ParseAdmissionPolicy(o.admit)
+	if err != nil {
+		return nil, err
+	}
+	ar := traffic.Config{
+		Model:        am,
+		RatePerMs:    o.rate,
+		DayMs:        o.day,
+		DiurnalAmp:   o.diurnal,
+		FlashEveryMs: o.flashEvery,
+		FlashMeanMs:  o.flashDur,
+	}
+	if am == traffic.MMPP {
+		ar.BurstFactor = o.burstFactor
+		ar.BurstEveryMs = o.burstEvery
+		ar.BurstMeanMs = o.burstDur
+	}
+	if o.flashEvery > 0 {
+		ar.FlashFactor = o.flashFactor
+	}
+	open := &cluster.OpenLoop{
+		Arrivals:   ar,
+		DurationMs: o.duration,
+		WarmupMs:   o.openWarmup,
+		SLAMs:      o.sla,
+		StartNodes: o.startNodes,
+		Admission:  cluster.Admission{Policy: pol, QueueBudgetMs: o.admitBudget},
+	}
+	if o.users > 0 {
+		open.Population = &traffic.Population{Users: o.users, RevisitProb: o.revisit, Affinity: o.affinity}
+	}
+	if o.scaleEvery > 0 {
+		open.Autoscale = &cluster.Autoscaler{
+			IntervalMs:    o.scaleEvery,
+			UpBacklogMs:   o.scaleUp,
+			DownBacklogMs: o.scaleDown,
+			ProvisionMs:   o.provision,
+			MinNodes:      o.minNodes,
+			MaxNodes:      o.maxNodes,
+		}
+	}
+	return open, nil
+}
+
 func main() {
+	var o mainFlags
 	var (
 		modelName  = flag.String("model", "rm2_1", "rm1 | rm2_1 | rm2_2 | rm2_3")
-		scale      = flag.Int("scale", 8, "model scale-down divisor")
 		hotness    = flag.String("hotness", "high", "high | medium | low")
 		schemeName = flag.String("scheme", "baseline", "per-node design point: baseline | swpf | mpht | integrated")
-		nodes      = flag.Int("nodes", 8, "cluster size")
 		policyName = flag.String("policy", "rowrange", "sharding policy: tablewise | rowrange")
 		replicate  = flag.String("replicate", "0,0.001,0.01,0.05,0.2", "comma-separated hot-row replication fractions to sweep")
-		batch      = flag.Int("batch", 8, "samples per query batch (also the engine batch size)")
-		servers    = flag.Int("servers", 2, "concurrent servers per node")
-		cores      = flag.Int("cores", 0, "engine cores for the timing run (0 = all platform cores)")
-		arrival    = flag.Float64("arrival", 0, "mean query inter-arrival time in ms (0 = derive from -util)")
-		util       = flag.Float64("util", 0.55, "target per-node utilization when -arrival is 0")
-		netLat     = flag.Float64("netlat", 0.05, "one-way network latency per message (ms)")
-		netBW      = flag.Float64("netbw", 10, "per-link network bandwidth (GB/s)")
-		queries    = flag.Int("queries", 4000, "queries to simulate per sweep point")
 		seed       = flag.Uint64("seed", 1, "random seed")
 
 		slowEvery  = flag.Float64("slowdown-every", 0, "mean ms between per-node slowdown episodes (0 = none)")
@@ -60,40 +232,50 @@ func main() {
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.IntVar(&o.scale, "scale", 8, "model scale-down divisor")
+	flag.IntVar(&o.nodes, "nodes", 8, "cluster size")
+	flag.IntVar(&o.batch, "batch", 8, "samples per query batch (also the engine batch size)")
+	flag.IntVar(&o.servers, "servers", 2, "concurrent servers per node")
+	flag.IntVar(&o.cores, "cores", 0, "engine cores for the timing run (0 = all platform cores)")
+	flag.IntVar(&o.queries, "queries", 4000, "closed-loop queries to simulate per sweep point")
+	flag.Float64Var(&o.arrival, "arrival", 0, "closed-loop mean query inter-arrival time in ms (0 = derive from -util)")
+	flag.Float64Var(&o.util, "util", 0.55, "target per-node utilization when -arrival/-rate is 0 (may exceed 1 with -open)")
+	flag.Float64Var(&o.netLat, "netlat", 0.05, "one-way network latency per message (ms)")
+	flag.Float64Var(&o.netBW, "netbw", 10, "per-link network bandwidth (GB/s)")
+
+	flag.BoolVar(&o.open, "open", false, "open-loop live-traffic mode: arrivals come from a generated stream, not a closed query count")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop base arrival rate in queries/ms (0 = derive from -util)")
+	flag.Float64Var(&o.duration, "duration", 0, "open-loop horizon in ms (0 = 1000 mean arrival periods)")
+	flag.Float64Var(&o.openWarmup, "open-warmup", 0, "warmup ms excluded from open-loop metrics (0 = 5% of duration, -1 = none)")
+	flag.Float64Var(&o.sla, "sla", 0, "per-query latency SLA in ms (0 = 8x the mean per-query work)")
+	flag.StringVar(&o.arrivals, "arrivals", "poisson", "arrival model: poisson | mmpp")
+	flag.Float64Var(&o.burstFactor, "burst-factor", 2, "mmpp: burst-state rate multiplier")
+	flag.Float64Var(&o.burstEvery, "burst-every", 0, "mmpp: mean ms between burst episodes")
+	flag.Float64Var(&o.burstDur, "burst-dur", 0, "mmpp: mean burst episode duration (ms)")
+	flag.Float64Var(&o.day, "day", 0, "diurnal period in ms (0 = no diurnal ramp)")
+	flag.Float64Var(&o.diurnal, "diurnal", 0, "diurnal amplitude in [0,1)")
+	flag.Float64Var(&o.flashEvery, "flash-every", 0, "mean ms between flash-crowd episodes (0 = none)")
+	flag.Float64Var(&o.flashDur, "flash-dur", 0, "mean flash-crowd duration (ms)")
+	flag.Float64Var(&o.flashFactor, "flash-factor", 3, "flash-crowd rate multiplier")
+	flag.IntVar(&o.users, "users", 0, "synthetic user population size (0 = anonymous arrivals)")
+	flag.Float64Var(&o.revisit, "revisit", 0.6, "probability an arrival revisits a recently seen user")
+	flag.Float64Var(&o.affinity, "affinity", 0.5, "probability a revisit lookup draws from the user's profile rows")
+	flag.StringVar(&o.admit, "admit", "none", "admission policy: none | shed")
+	flag.Float64Var(&o.admitBudget, "admit-budget", 0, "shed arrivals whose worst involved-node backlog exceeds this (ms; 0 = half the SLA)")
+	flag.IntVar(&o.startNodes, "start-nodes", 0, "nodes active at t=0 (0 = all)")
+	flag.Float64Var(&o.scaleEvery, "scale-every", 0, "autoscaler control interval in ms (0 = no autoscaler)")
+	flag.Float64Var(&o.scaleUp, "scale-up", 0, "scale up when mean active-node backlog exceeds this (ms)")
+	flag.Float64Var(&o.scaleDown, "scale-down", 0, "drain a node when mean backlog falls below this (ms)")
+	flag.Float64Var(&o.provision, "provision", 0, "ms a scaled-up node takes to come online")
+	flag.IntVar(&o.minNodes, "min-nodes", 0, "autoscaler floor (0 = 1)")
+	flag.IntVar(&o.maxNodes, "max-nodes", 0, "autoscaler ceiling (0 = -nodes)")
 	flag.Parse()
 	check.Enabled = *checkMode
 
-	// Fail on every bad flag at once, before the engine run starts.
-	var flagErrs []error
-	if *scale < 1 {
-		flagErrs = append(flagErrs, fmt.Errorf("-scale %d (want >= 1)", *scale))
-	}
-	if *nodes < 1 {
-		flagErrs = append(flagErrs, fmt.Errorf("-nodes %d (want >= 1)", *nodes))
-	}
-	if *batch < 1 {
-		flagErrs = append(flagErrs, fmt.Errorf("-batch %d (want >= 1)", *batch))
-	}
-	if *servers < 1 {
-		flagErrs = append(flagErrs, fmt.Errorf("-servers %d (want >= 1)", *servers))
-	}
-	if *cores < 0 {
-		flagErrs = append(flagErrs, fmt.Errorf("-cores %d (want >= 0)", *cores))
-	}
-	if *queries < 1 {
-		flagErrs = append(flagErrs, fmt.Errorf("-queries %d (want >= 1)", *queries))
-	}
-	if *arrival < 0 {
-		flagErrs = append(flagErrs, fmt.Errorf("-arrival %g (want >= 0)", *arrival))
-	}
-	if *arrival == 0 && (*util <= 0 || *util >= 1) {
-		flagErrs = append(flagErrs, fmt.Errorf("-util %g outside (0,1)", *util))
-	}
-	if *netLat < 0 || *netBW < 0 {
-		flagErrs = append(flagErrs, fmt.Errorf("negative network parameters (-netlat %g, -netbw %g)", *netLat, *netBW))
-	}
-	if len(flagErrs) > 0 {
-		fatal(errors.Join(flagErrs...))
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if err := o.validate(func(name string) bool { return setFlags[name] }); err != nil {
+		fatal(err)
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -128,33 +310,31 @@ func main() {
 	}
 	cpu := platform.CascadeLake()
 	n := cpu.Cores
-	if *cores > 0 && *cores <= cpu.Cores {
-		n = *cores
+	if o.cores > 0 && o.cores <= cpu.Cores {
+		n = o.cores
 	}
-	model := base.Scaled(*scale)
+	model := base.Scaled(o.scale)
 
 	// One memoizable engine run sets the per-node service model.
 	rep, err := core.Run(core.Options{Model: model, Hotness: h, Scheme: scheme, Cores: n, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
-	lookups := *batch * model.Tables * model.LookupsPerSample
+	lookups := o.batch * model.Tables * model.LookupsPerSample
 	tm := cluster.TimingFromReport(rep, cpu, lookups)
 
-	plan, err := cluster.NewPlan(model, *nodes, policy, 0, *seed)
+	plan, err := cluster.NewPlan(model, o.nodes, policy, 0, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := cluster.Config{
 		Plan:            plan,
 		Hotness:         h,
-		SamplesPerQuery: *batch,
+		SamplesPerQuery: o.batch,
 		Timing:          tm,
-		Net:             cluster.Network{LatencyMs: *netLat, BandwidthGBs: *netBW},
-		ServersPerNode:  *servers,
-		MeanArrivalMs:   *arrival,
+		Net:             cluster.Network{LatencyMs: o.netLat, BandwidthGBs: o.netBW},
+		ServersPerNode:  o.servers,
 		JitterFrac:      0.08,
-		Queries:         *queries,
 		Faults: cluster.FaultModel{
 			SlowdownEveryMs: *slowEvery,
 			SlowdownMeanMs:  *slowDur,
@@ -172,22 +352,69 @@ func main() {
 		},
 		Seed: *seed,
 	}
-	if cfg.MeanArrivalMs <= 0 {
-		cfg.MeanArrivalMs = cluster.ArrivalForUtilization(plan, tm, *batch, *servers, *util)
+	if o.open {
+		// Resolve the derive-from-load defaults now that the service model
+		// is known, then hand the rest to the cluster tier's validation.
+		if o.rate == 0 {
+			o.rate = 1 / cluster.ArrivalForUtilization(plan, tm, o.batch, o.servers, o.util)
+		}
+		if o.duration == 0 {
+			o.duration = 1000 / o.rate
+		}
+		if o.sla == 0 {
+			o.sla = 8 * cluster.QueryWorkMs(plan, tm, o.batch)
+		}
+		if o.admit == "shed" && o.admitBudget == 0 {
+			o.admitBudget = o.sla / 2
+		}
+		open, err := o.openLoop()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Open = open
+	} else {
+		cfg.MeanArrivalMs = o.arrival
+		cfg.Queries = o.queries
+		if cfg.MeanArrivalMs <= 0 {
+			cfg.MeanArrivalMs = cluster.ArrivalForUtilization(plan, tm, o.batch, o.servers, o.util)
+		}
 	}
-	// Collect every fault/mitigation/geometry violation in one report.
+	// Collect every fault/mitigation/traffic/geometry violation in one report.
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("dlrmcluster: %s (scale 1/%d), %v, %s per-node design\n",
-		base.Name, *scale, h, scheme)
+		base.Name, o.scale, h, scheme)
 	fmt.Printf("%d nodes, %s sharding: %.1f MB/node shard (%.1f MB total embeddings)\n",
 		plan.Nodes, plan.Policy, float64(plan.MaxShardBytes())/1e6, float64(plan.TotalBytes())/1e6)
 	fmt.Printf("service: %.3f µs/cold lookup, %.3f µs/hot lookup, dense %.3f ms; network %.3g ms + %g GB/s\n",
-		tm.ColdLookupUs, tm.HotLookupUs, tm.DenseMs, *netLat, *netBW)
-	fmt.Printf("load: %d-sample queries every %.4f ms (mean), %d servers/node, %d queries\n",
-		*batch, cfg.MeanArrivalMs, *servers, *queries)
+		tm.ColdLookupUs, tm.HotLookupUs, tm.DenseMs, o.netLat, o.netBW)
+	if o.open {
+		fmt.Printf("open-loop: %s arrivals at %.2f q/ms base rate, horizon %.1f ms (warmup %g), SLA %.3f ms\n",
+			cfg.Open.Arrivals.Model, o.rate, o.duration, o.openWarmup, o.sla)
+		if o.users > 0 {
+			fmt.Printf("population: %d users, revisit p=%.2f, profile affinity %.2f\n", o.users, o.revisit, o.affinity)
+		}
+		fmt.Printf("admission: %s", cfg.Open.Admission.Policy)
+		if cfg.Open.Admission.Policy == cluster.ShedOverBudget {
+			fmt.Printf(" (backlog budget %.3f ms)", o.admitBudget)
+		}
+		if a := cfg.Open.Autoscale; a != nil {
+			minN, maxN := a.MinNodes, a.MaxNodes
+			if minN == 0 {
+				minN = 1
+			}
+			if maxN == 0 {
+				maxN = o.nodes
+			}
+			fmt.Printf("; autoscale every %.2f ms in [%d,%d] nodes", a.IntervalMs, minN, maxN)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("load: %d-sample queries every %.4f ms (mean), %d servers/node, %d queries\n",
+			o.batch, cfg.MeanArrivalMs, o.servers, o.queries)
+	}
 	faulted := cfg.Faults.Active()
 	if faulted {
 		fmt.Printf("faults: slowdowns every %g ms (×%g for %g ms), outages every %g ms (%g ms), drop %.1f%%\n",
@@ -207,6 +434,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if o.open {
+		autoscaled := cfg.Open.Autoscale != nil
+		fmt.Printf("%-10s %-8s %11s %7s %11s %9s %9s %6s %9s",
+			"replicate", "local %", "offered", "shed %", "goodput", "p95 (ms)", "p99 (ms)", "util", "viol min")
+		if autoscaled {
+			fmt.Printf(" %6s %4s %5s", "nodes", "ups", "downs")
+		}
+		fmt.Println()
+		for _, p := range points {
+			r := p.Result
+			fmt.Printf("%-10.3f %-8.1f %11.0f %6.1f%% %11.0f %9.3f %9.3f %5.1f%% %9.1f",
+				p.Fraction, 100*r.LocalFraction, r.OfferedQPS, 100*r.ShedRate, r.Goodput,
+				r.P95, r.P99, 100*r.Utilization, r.SLAViolationMinutes)
+			if autoscaled {
+				fmt.Printf(" %6.2f %4d %5d", r.MeanActiveNodes, r.ScaleUps, r.ScaleDowns)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("\nopen-loop traffic does not wait for the system: offered load is a function of time,\nso overload shows up as shed queries and SLA-violation minutes instead of slower arrivals\n")
+		return
+	}
 	fmt.Printf("%-10s %-9s %-14s %-8s %-8s %9s %9s %9s %6s",
 		"replicate", "hot rows", "replica MB/nd", "local %", "fan-out", "p50 (ms)", "p95 (ms)", "p99 (ms)", "util")
 	if faulted {
@@ -216,7 +464,7 @@ func main() {
 	for _, p := range points {
 		hotRows := 0
 		if p.Fraction > 0 {
-			hp, err := cluster.NewPlan(model, *nodes, policy, p.Fraction, *seed)
+			hp, err := cluster.NewPlan(model, o.nodes, policy, p.Fraction, *seed)
 			if err != nil {
 				fatal(err)
 			}

@@ -1,0 +1,738 @@
+package cluster
+
+// The open-loop live-traffic tier (DESIGN.md §11): production serving is
+// open-loop — users do not wait for each other's responses, so offered
+// load is a function of time, not of the system's progress. This file
+// runs the cluster simulation against an internal/traffic arrival stream
+// (Poisson/MMPP with diurnal ramps and flash crowds) and a synthetic user
+// population, adds router-side admission control that sheds queries when
+// the backlog of the involved nodes exceeds an SLA budget, and an
+// autoscaler that grows and drains the active node set mid-run.
+//
+// The closed-loop simulator pre-schedules every copy and sorts once; here
+// admission decisions must observe queue state at arrival time, so the
+// run is a single event loop over three deterministic event sources —
+// autoscaler control ticks, stream arrivals, and a min-heap of scheduled
+// sub-request copies in the same (arrive, sub, attempt) total order the
+// closed-loop sort uses. At equal instants ticks precede arrivals precede
+// copies; every source is a pure function of (Seed, index) via
+// stats.SplitSeed, so open-loop results keep the registry-wide
+// byte-identical-at-any-worker-count determinism property.
+//
+// Autoscaling never re-shards: the plan stays fixed and the autoscaler
+// moves nodes in and out of an *active set*. Sub-requests route to the
+// first active node in the shard's standby chain (the same chain retries
+// walk), a drain is pure route-away — in-flight work completes, new work
+// skips the node — and a provisioning node reuses the fault model's
+// outage machinery (serve.Queue.Unavailable) to hold its servers shut
+// until it is warm.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"dlrmsim/internal/check"
+	"dlrmsim/internal/serve"
+	"dlrmsim/internal/stats"
+	"dlrmsim/internal/trace"
+	"dlrmsim/internal/traffic"
+)
+
+// seed salts for the open-loop tier's derived streams.
+const (
+	saltOpenArrivals uint64 = 0x09E4A1
+	saltOpenUsers    uint64 = 0x09E4A2
+)
+
+// AdmissionPolicy selects the router's load-shedding behavior.
+type AdmissionPolicy int
+
+const (
+	// AdmitAll never sheds: every arrival is dispatched however deep the
+	// queues are (the no-shed baseline).
+	AdmitAll AdmissionPolicy = iota
+	// ShedOverBudget sheds an arrival when the worst backlog over the
+	// nodes it would fan out to exceeds Admission.QueueBudgetMs. A
+	// backlog exactly at the budget is admitted.
+	ShedOverBudget
+)
+
+// String returns the policy's CLI spelling.
+func (p AdmissionPolicy) String() string {
+	switch p {
+	case AdmitAll:
+		return "none"
+	case ShedOverBudget:
+		return "shed"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseAdmissionPolicy resolves a policy from its CLI spelling.
+func ParseAdmissionPolicy(name string) (AdmissionPolicy, error) {
+	switch name {
+	case "none":
+		return AdmitAll, nil
+	case "shed":
+		return ShedOverBudget, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown admission policy %q", name)
+}
+
+// Admission is the router's load-shedding configuration. The zero value
+// admits everything.
+type Admission struct {
+	// Policy selects the shedding rule.
+	Policy AdmissionPolicy
+	// QueueBudgetMs is the per-node backlog budget ShedOverBudget
+	// enforces; queries whose involved nodes are all at or under it are
+	// admitted.
+	QueueBudgetMs float64
+}
+
+// shed decides one arrival's fate from the worst backlog (ms) over the
+// nodes it would fan out to. The boundary is strict: a backlog exactly at
+// the budget is admitted.
+func (a Admission) shed(worstBacklogMs float64) bool {
+	return a.Policy == ShedOverBudget && worstBacklogMs > a.QueueBudgetMs
+}
+
+func (a Admission) validateErrs() []error {
+	var errs []error
+	switch a.Policy {
+	case AdmitAll:
+		if a.QueueBudgetMs != 0 {
+			errs = append(errs, fmt.Errorf("cluster: queue budget %g ms needs the shed admission policy", a.QueueBudgetMs))
+		}
+	case ShedOverBudget:
+		if a.QueueBudgetMs <= 0 {
+			errs = append(errs, fmt.Errorf("cluster: shed admission needs a positive queue budget (got %g ms)", a.QueueBudgetMs))
+		}
+	default:
+		errs = append(errs, fmt.Errorf("cluster: invalid admission policy %d", a.Policy))
+	}
+	return errs
+}
+
+// Autoscaler grows and drains the active node set on a fixed control
+// cadence, driven by the mean backlog over active nodes.
+type Autoscaler struct {
+	// IntervalMs is the control-loop tick period.
+	IntervalMs float64
+	// UpBacklogMs triggers a scale-up when the mean active-node backlog
+	// exceeds it at a tick.
+	UpBacklogMs float64
+	// DownBacklogMs triggers a drain when the mean backlog falls below it
+	// (must be below UpBacklogMs to avoid flapping).
+	DownBacklogMs float64
+	// ProvisionMs is the delay before a scaled-up node starts serving —
+	// its queue is held shut with the outage machinery until then, and it
+	// joins the active set at the first tick past readiness. At most one
+	// node provisions at a time.
+	ProvisionMs float64
+	// MinNodes floors the active set (0 means 1).
+	MinNodes int
+	// MaxNodes caps the active set (0 means the plan's node count).
+	MaxNodes int
+}
+
+func (a *Autoscaler) validateErrs(nodes int) []error {
+	var errs []error
+	if a.IntervalMs <= 0 {
+		errs = append(errs, fmt.Errorf("cluster: autoscaler needs a positive control interval (got %g ms)", a.IntervalMs))
+	}
+	if a.UpBacklogMs <= 0 {
+		errs = append(errs, fmt.Errorf("cluster: autoscaler needs a positive scale-up backlog threshold (got %g ms)", a.UpBacklogMs))
+	}
+	if a.DownBacklogMs < 0 {
+		errs = append(errs, fmt.Errorf("cluster: negative scale-down threshold %g ms", a.DownBacklogMs))
+	}
+	if a.UpBacklogMs > 0 && a.DownBacklogMs >= a.UpBacklogMs {
+		errs = append(errs, fmt.Errorf("cluster: scale-down threshold %g ms must sit below scale-up threshold %g ms",
+			a.DownBacklogMs, a.UpBacklogMs))
+	}
+	if a.ProvisionMs < 0 {
+		errs = append(errs, fmt.Errorf("cluster: negative provisioning delay %g ms", a.ProvisionMs))
+	}
+	if a.MinNodes < 0 || a.MinNodes > nodes {
+		errs = append(errs, fmt.Errorf("cluster: autoscaler floor %d outside [0,%d]", a.MinNodes, nodes))
+	}
+	if a.MaxNodes < 0 || a.MaxNodes > nodes {
+		errs = append(errs, fmt.Errorf("cluster: autoscaler cap %d outside [0,%d]", a.MaxNodes, nodes))
+	}
+	minN, maxN := a.MinNodes, a.MaxNodes
+	if minN == 0 {
+		minN = 1
+	}
+	if maxN == 0 {
+		maxN = nodes
+	}
+	if minN > maxN {
+		errs = append(errs, fmt.Errorf("cluster: autoscaler floor %d above cap %d", minN, maxN))
+	}
+	return errs
+}
+
+// OpenLoop configures the live-traffic mode of Simulate.
+type OpenLoop struct {
+	// Arrivals is the traffic stream. Its Seed must be left zero — the
+	// stream seed is derived from the cluster Config.Seed so one seed
+	// still determines the whole run.
+	Arrivals traffic.Config
+	// Population, when set, attributes arrivals to synthetic users whose
+	// revisits layer per-user embedding locality on the hotness class
+	// (its Seed must likewise be left zero). Without it every arrival is
+	// a fresh anonymous query round-robined across home nodes.
+	Population *traffic.Population
+	// DurationMs is the simulated horizon; arrivals stop there and
+	// in-flight queries run to completion.
+	DurationMs float64
+	// WarmupMs excludes early arrivals from every metric (the queues
+	// still serve them, so steady state is measured, not ramp-up). 0
+	// means unset (default 5% of DurationMs); -1 requests explicitly
+	// zero warmup.
+	WarmupMs float64
+	// SLAMs is the per-query latency target Goodput and
+	// SLAViolationMinutes are measured against.
+	SLAMs float64
+	// Admission is the router's load-shedding rule.
+	Admission Admission
+	// Autoscale, when set, runs the control loop over the active set.
+	Autoscale *Autoscaler
+	// StartNodes is the initial active-set size (0 means all plan
+	// nodes). Inactive nodes hold their shards but serve nothing until
+	// the autoscaler brings them in; their work routes down the standby
+	// chain, so a deliberately zero-capacity owner is expressible.
+	StartNodes int
+}
+
+// validateErrs reports every violation without mutating o, accepting the
+// zero-means-default fields in either pre- or post-default form.
+func (o *OpenLoop) validateErrs(nodes int) []error {
+	var errs []error
+	ar := o.Arrivals
+	if ar.Seed != 0 {
+		errs = append(errs, fmt.Errorf("cluster: traffic seed is derived from the cluster seed; leave it zero"))
+		ar.Seed = 0
+	}
+	if err := ar.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if o.Population != nil {
+		pop := *o.Population
+		if pop.Seed != 0 {
+			errs = append(errs, fmt.Errorf("cluster: population seed is derived from the cluster seed; leave it zero"))
+			pop.Seed = 0
+		}
+		if err := pop.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if o.DurationMs <= 0 {
+		errs = append(errs, fmt.Errorf("cluster: open-loop runs need a positive duration (got %g ms)", o.DurationMs))
+	}
+	if o.WarmupMs < 0 && o.WarmupMs != -1 {
+		errs = append(errs, fmt.Errorf("cluster: warmup %g ms (use -1 for explicit zero)", o.WarmupMs))
+	}
+	if o.DurationMs > 0 {
+		w := o.WarmupMs
+		switch w {
+		case 0:
+			w = o.DurationMs / 20
+		case -1:
+			w = 0
+		}
+		if w >= o.DurationMs {
+			errs = append(errs, fmt.Errorf("cluster: warmup %g ms >= duration %g ms", w, o.DurationMs))
+		}
+	}
+	if o.SLAMs <= 0 {
+		errs = append(errs, fmt.Errorf("cluster: open-loop runs need a positive SLA target (got %g ms)", o.SLAMs))
+	}
+	if o.StartNodes < 0 || o.StartNodes > nodes {
+		errs = append(errs, fmt.Errorf("cluster: %d start nodes outside [0,%d]", o.StartNodes, nodes))
+	}
+	errs = append(errs, o.Admission.validateErrs()...)
+	if o.Autoscale != nil {
+		errs = append(errs, o.Autoscale.validateErrs(nodes)...)
+		minN := o.Autoscale.MinNodes
+		if minN == 0 {
+			minN = 1
+		}
+		start := o.StartNodes
+		if start == 0 {
+			start = nodes
+		}
+		if start < minN {
+			errs = append(errs, fmt.Errorf("cluster: %d start nodes below autoscaler floor %d", start, minN))
+		}
+	}
+	return errs
+}
+
+// applyDefaults resolves the zero-means-default fields in place and
+// returns the first validation failure (mirroring Config.applyDefaults;
+// Config.Validate is the collect-all front door).
+func (o *OpenLoop) applyDefaults(nodes int) error {
+	if errs := o.validateErrs(nodes); len(errs) > 0 {
+		return errs[0]
+	}
+	switch o.WarmupMs {
+	case 0:
+		o.WarmupMs = o.DurationMs / 20
+	case -1:
+		o.WarmupMs = 0
+	}
+	if o.StartNodes == 0 {
+		o.StartNodes = nodes
+	}
+	if o.Autoscale != nil {
+		if o.Autoscale.MinNodes == 0 {
+			o.Autoscale.MinNodes = 1
+		}
+		if o.Autoscale.MaxNodes == 0 {
+			o.Autoscale.MaxNodes = nodes
+		}
+	}
+	return nil
+}
+
+// copyHeap orders scheduled sub-request copies by (arrive, sub, attempt) —
+// the exact total order the closed-loop sort establishes, maintained
+// incrementally because arrivals keep scheduling new copies mid-run.
+type copyHeap []subCopy
+
+func (h copyHeap) Len() int { return len(h) }
+func (h copyHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.arrive != b.arrive {
+		return a.arrive < b.arrive
+	}
+	if a.sub != b.sub {
+		return a.sub < b.sub
+	}
+	return a.attempt < b.attempt
+}
+func (h copyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *copyHeap) Push(x any)   { *h = append(*h, x.(subCopy)) }
+func (h *copyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// openQuery is one arrival's router-side record.
+type openQuery struct {
+	arrive   float64
+	admitted bool
+	revisit  bool
+}
+
+// simulateOpen runs the open-loop live-traffic simulation. cfg has been
+// default-applied; cfg.Open is non-nil.
+func simulateOpen(cfg Config) (Result, error) {
+	o := cfg.Open
+	plan := cfg.Plan
+	model := plan.Model
+
+	ar := o.Arrivals
+	ar.Seed = stats.SplitSeed(cfg.Seed^saltOpenArrivals, 0)
+	stream, err := traffic.NewStream(ar)
+	if err != nil {
+		return Result{}, err
+	}
+	var visitors *traffic.Visitors
+	var pop traffic.Population
+	if o.Population != nil {
+		pop = *o.Population
+		pop.Seed = stats.SplitSeed(cfg.Seed^saltOpenUsers, 0)
+		visitors, err = traffic.NewVisitors(pop)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	st := &simState{
+		cfg:      cfg,
+		plan:     plan,
+		queues:   make([]*serve.Queue, plan.Nodes),
+		warmupMs: o.WarmupMs,
+	}
+	for n := range st.queues {
+		st.queues[n] = serve.NewQueue(cfg.ServersPerNode)
+	}
+	if cfg.Faults.Active() {
+		st.faults = newFaultState(cfg.Faults, cfg.Seed, plan.Nodes)
+	}
+
+	// The active set. route walks a shard's standby chain to the first
+	// active node — the same chain retries use, so any node can serve any
+	// shard's rows (standby replicas, as in the fault model).
+	active := make([]bool, plan.Nodes)
+	for n := 0; n < o.StartNodes; n++ {
+		active[n] = true
+	}
+	activeCount := o.StartNodes
+	route := func(n int) int {
+		for k := 0; k < plan.Nodes; k++ {
+			if t := (n + k) % plan.Nodes; active[t] {
+				return t
+			}
+		}
+		return n // unreachable: the active set never empties
+	}
+	backlog := func(n int, now float64) float64 {
+		if b := st.queues[n].EarliestFree() - now; b > 0 {
+			return b
+		}
+		return 0
+	}
+
+	// Time-weighted active-set accounting; the set only changes at ticks.
+	var nodeMsSum, lastChange float64
+	noteActive := func(now float64) {
+		nodeMsSum += float64(activeCount) * (now - lastChange)
+		lastChange = now
+	}
+
+	as := o.Autoscale
+	nextTick := math.Inf(1)
+	if as != nil {
+		nextTick = as.IntervalMs
+	}
+	pendingNode := -1
+	var pendingReady float64
+	var scaleUps, scaleDowns int
+
+	var zipf *stats.Zipf
+	switch cfg.Hotness {
+	case trace.OneItem, trace.RandomAccess:
+	default:
+		zipf = stats.NewSharedZipf(model.RowsPerTable, cfg.Hotness.ReferenceExponent())
+	}
+	// sample draws one lookup's hotness rank from any generator — the
+	// per-(query,table) stream for fresh lookups, a stateless profile
+	// stream for profile lookups, so profile slots keep the marginal
+	// hotness distribution while pinning each slot to one row.
+	sample := func(rng *stats.RNG) int {
+		switch cfg.Hotness {
+		case trace.OneItem:
+			return 0
+		case trace.RandomAccess:
+			return rng.Intn(model.RowsPerTable)
+		default:
+			return zipf.SampleWith(rng)
+		}
+	}
+
+	h := &copyHeap{}
+	var queries []openQuery
+	firstSub := []int{0}
+	cold := make([]int, plan.Nodes)
+	eff := make([]int, plan.Nodes) // arrival-scratch: cold work per effective node
+	draws := cfg.SamplesPerQuery * model.LookupsPerSample
+	var hotLookups, totalLookups int
+
+	nextArr := stream.Next()
+	q := 0
+	for {
+		// Next event: ticks precede arrivals precede copies at equal
+		// instants (strict inequalities below encode the tie-break).
+		now := math.Inf(1)
+		kind := 0 // 1 tick, 2 arrival, 3 copy
+		if nextTick <= o.DurationMs {
+			now, kind = nextTick, 1
+		}
+		if nextArr < o.DurationMs && nextArr < now {
+			now, kind = nextArr, 2
+		}
+		if h.Len() > 0 && (*h)[0].arrive < now {
+			now, kind = (*h)[0].arrive, 3
+		}
+		switch kind {
+		case 0:
+			goto done
+		case 1:
+			// Autoscaler control tick. Activation first, so a node ready
+			// exactly at this tick serves the decisions below.
+			if pendingNode >= 0 && now >= pendingReady {
+				noteActive(now)
+				active[pendingNode] = true
+				activeCount++
+				pendingNode = -1
+			}
+			var sum float64
+			for n := range active {
+				if active[n] {
+					sum += backlog(n, now)
+				}
+			}
+			mean := sum / float64(activeCount)
+			if mean > as.UpBacklogMs && pendingNode < 0 && activeCount < as.MaxNodes {
+				// Provision the lowest-index inactive node; its queue is
+				// held shut with the outage machinery until it is warm.
+				for n := range active {
+					if !active[n] {
+						pendingNode = n
+						break
+					}
+				}
+				pendingReady = now + as.ProvisionMs
+				st.queues[pendingNode].Unavailable(pendingReady)
+				scaleUps++
+			} else if mean < as.DownBacklogMs && activeCount > as.MinNodes {
+				// Drain the highest-index active node: pure route-away —
+				// in-flight work completes, new work skips it.
+				for n := plan.Nodes - 1; n >= 0; n-- {
+					if active[n] {
+						noteActive(now)
+						active[n] = false
+						activeCount--
+						scaleDowns++
+						break
+					}
+				}
+			}
+			nextTick += as.IntervalMs
+		case 2:
+			// Arrival: attribute it, draw its lookups, decide admission,
+			// and schedule its sub-request copies.
+			user, visit := uint64(q), 1
+			if visitors != nil {
+				user, visit = visitors.Next()
+			}
+			home := route(int(user % uint64(plan.Nodes)))
+			for n := range cold {
+				cold[n] = 0
+			}
+			hot, warm := 0, 0
+			for t := 0; t < model.Tables; t++ {
+				rng := stats.SeededRNG(stats.SplitSeed(cfg.Seed^0x100C, uint64(q*model.Tables+t)))
+				for l := 0; l < draws; l++ {
+					var r int
+					fromProfile := false
+					if visitors != nil && rng.Float64() < visitors.Affinity() {
+						slot := rng.Intn(visitors.ProfileSize())
+						pr := pop.ProfileStream(user, t, slot)
+						r = sample(&pr)
+						fromProfile = true
+					} else {
+						r = sample(&rng)
+					}
+					switch {
+					case plan.Replicated(r):
+						hot++
+					case fromProfile && visit > 1:
+						// The user's earlier visit already pulled this
+						// profile row through the home node — warm there.
+						warm++
+					default:
+						cold[plan.Owner(t, plan.rowOfRank(t, r))]++
+					}
+				}
+			}
+			// Route each owner through the active set and merge the cold
+			// work per effective node; hot and warm lookups serve at home.
+			for n := range eff {
+				eff[n] = 0
+			}
+			for n, c := range cold {
+				if c > 0 {
+					eff[route(n)] += c
+				}
+			}
+			admitted := true
+			if o.Admission.Policy == ShedOverBudget {
+				worst := 0.0
+				for n, c := range eff {
+					if c == 0 && !(n == home && hot+warm > 0) {
+						continue
+					}
+					if b := backlog(n, now); b > worst {
+						worst = b
+					}
+				}
+				admitted = !o.Admission.shed(worst)
+			}
+			if admitted {
+				for n, c := range eff {
+					served := c
+					svcUs := cfg.Timing.SubRequestUs + cfg.Timing.ColdLookupUs*float64(c)
+					if n == home && hot+warm > 0 {
+						served += hot + warm
+						svcUs += cfg.Timing.HotLookupUs * float64(hot+warm)
+					}
+					if served == 0 {
+						continue
+					}
+					reqBytes := int64(4*served) + wireHeaderBytes
+					pooled := (served + model.LookupsPerSample - 1) / model.LookupsPerSample
+					respBytes := int64(pooled)*int64(model.EmbDim)*4 + wireHeaderBytes
+					before := len(st.copies)
+					st.schedule(q, n, served, svcUs/1e3, reqBytes, respBytes, now)
+					for _, cp := range st.copies[before:] {
+						heap.Push(h, cp)
+					}
+					st.copies = st.copies[:before]
+				}
+				if now >= o.WarmupMs {
+					hotLookups += hot + warm
+					totalLookups += hot + warm
+					for _, c := range cold {
+						totalLookups += c
+					}
+				}
+			}
+			queries = append(queries, openQuery{arrive: now, admitted: admitted, revisit: visit > 1})
+			firstSub = append(firstSub, len(st.subs))
+			q++
+			nextArr = stream.Next()
+		case 3:
+			cp := heap.Pop(h).(subCopy)
+			st.serveCopy(&cp, route(cp.node))
+		}
+	}
+done:
+	noteActive(o.DurationMs)
+
+	// Join phase: identical to the closed-loop phase 3, over admitted
+	// queries, plus the SLA/goodput/shed accounting.
+	minuteMs := o.DurationMs / 1440
+	if ar.DayMs > 0 {
+		minuteMs = ar.DayMs / 1440
+	}
+	violated := make(map[int]bool)
+	window := o.DurationMs - o.WarmupMs
+	var latencies []float64
+	var fanoutSum, subCount, hedgeCount, retryCount, fullJoins int
+	var postArr, postShed, postRevisit, goodCount int
+	var completenessSum float64
+	for i, oq := range queries {
+		post := oq.arrive >= o.WarmupMs
+		if post {
+			postArr++
+			if oq.revisit {
+				postRevisit++
+			}
+		}
+		if !oq.admitted {
+			if post {
+				postShed++
+			}
+			continue
+		}
+		joined := oq.arrive
+		queryLookups, servedLookups := 0, 0
+		hedges, retries := 0, 0
+		complete := true
+		for s := firstSub[i]; s < firstSub[i+1]; s++ {
+			sub := &st.subs[s]
+			doneAt, ok := st.resolve(sub)
+			if doneAt > joined {
+				joined = doneAt
+			}
+			queryLookups += sub.served
+			retries += sub.retries
+			if sub.hedged {
+				hedges++
+			}
+			if ok {
+				servedLookups += sub.served
+			} else {
+				complete = false
+			}
+		}
+		finish := joined + cfg.Timing.DenseMs
+		if !post {
+			continue
+		}
+		lat := finish - oq.arrive
+		latencies = append(latencies, lat)
+		if lat <= o.SLAMs {
+			goodCount++
+		} else {
+			violated[int(oq.arrive/minuteMs)] = true
+		}
+		fanoutSum += firstSub[i+1] - firstSub[i]
+		subCount += firstSub[i+1] - firstSub[i]
+		hedgeCount += hedges
+		retryCount += retries
+		if complete {
+			fullJoins++
+		}
+		if queryLookups > 0 {
+			completenessSum += float64(servedLookups) / float64(queryLookups)
+		} else {
+			completenessSum++
+		}
+	}
+
+	res := Result{
+		P50:                 stats.Percentile(latencies, 0.50),
+		P95:                 stats.Percentile(latencies, 0.95),
+		P99:                 stats.Percentile(latencies, 0.99),
+		Mean:                stats.Mean(latencies),
+		MaxQueueWaitMs:      st.maxWait,
+		ReplicaBytesPerNode: plan.ReplicaBytesPerNode(),
+		MaxShardBytes:       plan.MaxShardBytes(),
+		OfferedQPS:          float64(postArr) / (window / 1e3),
+		Goodput:             float64(goodCount) / (window / 1e3),
+		SLAViolationMinutes: float64(len(violated)),
+		MeanActiveNodes:     nodeMsSum / o.DurationMs,
+		ScaleUps:            scaleUps,
+		ScaleDowns:          scaleDowns,
+	}
+	// An all-shed storm leaves no admitted queries: the ratio metrics are
+	// left zero instead of dividing by zero (Percentile/Mean already
+	// return 0 on empty slices).
+	if n := len(latencies); n > 0 {
+		res.MeanFanout = float64(fanoutSum) / float64(n)
+		res.Availability = float64(fullJoins) / float64(n)
+		res.Completeness = completenessSum / float64(n)
+		res.RetriesPerQuery = float64(retryCount) / float64(n)
+	}
+	if postArr > 0 {
+		res.ShedRate = float64(postShed) / float64(postArr)
+		res.RevisitRate = float64(postRevisit) / float64(postArr)
+	}
+	if subCount > 0 {
+		res.HedgeRate = float64(hedgeCount) / float64(subCount)
+	}
+	if totalLookups > 0 {
+		res.LocalFraction = float64(hotLookups) / float64(totalLookups)
+	}
+	var busySum float64
+	busyByNode := make([]float64, plan.Nodes)
+	for n, qu := range st.queues {
+		busyByNode[n] = qu.BusyMs()
+		busySum += busyByNode[n]
+	}
+	// Capacity is the time-integrated active set (node·ms), not
+	// nodes×horizon — a drained node contributes no capacity.
+	if nodeMsSum > 0 {
+		res.Utilization = busySum / (nodeMsSum * float64(cfg.ServersPerNode))
+	}
+	var busyMax float64
+	for _, b := range busyByNode {
+		if b > busyMax {
+			busyMax = b
+		}
+	}
+	if busySum > 0 {
+		res.Imbalance = busyMax / (busySum / float64(plan.Nodes))
+	}
+	if check.Enabled {
+		finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+		check.Assert(finite(res.P99) && finite(res.Goodput) && finite(res.ShedRate) && finite(res.Utilization),
+			"cluster: non-finite open-loop summary (p99 %g, goodput %g, shed %g, util %g)",
+			res.P99, res.Goodput, res.ShedRate, res.Utilization)
+		check.Assert(res.SLAViolationMinutes >= 0 && res.MeanActiveNodes > 0,
+			"cluster: impossible open-loop accounting (violation minutes %g, active nodes %g)",
+			res.SLAViolationMinutes, res.MeanActiveNodes)
+	}
+	return res, nil
+}

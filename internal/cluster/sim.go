@@ -34,7 +34,7 @@ type Config struct {
 	// the cores the node dedicates to sub-request service.
 	ServersPerNode int
 	// MeanArrivalMs is the mean inter-arrival time of the Poisson query
-	// load at the router.
+	// load at the router (closed-loop mode; unused when Open is set).
 	MeanArrivalMs float64
 	// JitterFrac multiplies each sub-request's service time by
 	// exp(J·N(0,1)), as in internal/serve. 0 disables jitter.
@@ -52,6 +52,11 @@ type Config struct {
 	// timeouts with bounded retry to a standby, hedged backups, degraded
 	// joins (zero = naive router).
 	Mitigation Mitigation
+	// Open switches the simulation to open-loop live-traffic mode: a
+	// time-driven arrival stream (internal/traffic) with a synthetic user
+	// population, admission control, and optional autoscaling, replacing
+	// the closed-loop MeanArrivalMs/Queries load. See openloop.go.
+	Open *OpenLoop
 	// Seed drives arrivals, lookups, jitter, and every fault process;
 	// every stream is derived statelessly from it via stats.SplitSeed.
 	Seed uint64
@@ -64,9 +69,6 @@ func (c *Config) applyDefaults() error {
 	if c.SamplesPerQuery < 1 {
 		return fmt.Errorf("cluster: %d samples per query", c.SamplesPerQuery)
 	}
-	if c.MeanArrivalMs <= 0 {
-		return fmt.Errorf("cluster: non-positive mean arrival %g", c.MeanArrivalMs)
-	}
 	if c.Timing.ColdLookupUs <= 0 {
 		return fmt.Errorf("cluster: non-positive cold lookup cost %g", c.Timing.ColdLookupUs)
 	}
@@ -75,6 +77,36 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.ServersPerNode < 1 {
 		return fmt.Errorf("cluster: %d servers per node", c.ServersPerNode)
+	}
+	if c.Open != nil {
+		// Open-loop mode: load comes from the traffic stream, so the
+		// closed-loop knobs must be left zero (a set knob is a config
+		// confusion, not a silent no-op).
+		if c.MeanArrivalMs != 0 || c.Queries != 0 || c.WarmupQueries != 0 {
+			return fmt.Errorf("cluster: closed-loop load knobs (mean arrival %g, queries %d, warmup %d) are unused with an open-loop config",
+				c.MeanArrivalMs, c.Queries, c.WarmupQueries)
+		}
+		if err := c.Faults.validate(); err != nil {
+			return err
+		}
+		if err := c.Mitigation.validate(); err != nil {
+			return err
+		}
+		// Clone before resolving defaults: Simulate receives the Config by
+		// value but Open is a pointer, and mutating the caller's struct
+		// would corrupt reuse — in a replication sweep, an explicit-zero
+		// warmup (-1 → 0) would silently turn into the 5% default on the
+		// next point.
+		open := *c.Open
+		if open.Autoscale != nil {
+			as := *open.Autoscale
+			open.Autoscale = &as
+		}
+		c.Open = &open
+		return c.Open.applyDefaults(c.Plan.Nodes)
+	}
+	if c.MeanArrivalMs <= 0 {
+		return fmt.Errorf("cluster: non-positive mean arrival %g", c.MeanArrivalMs)
 	}
 	if c.Queries == 0 {
 		c.Queries = 2000
@@ -134,6 +166,32 @@ type Result struct {
 	// accounting so latency/memory tradeoff curves come from one struct.
 	ReplicaBytesPerNode int64
 	MaxShardBytes       int64
+
+	// The remaining fields are populated by open-loop runs only (Config.Open).
+
+	// OfferedQPS is the post-warmup arrival rate actually drawn from the
+	// traffic stream, admitted or not, in queries per second.
+	OfferedQPS float64
+	// Goodput is admitted post-warmup queries that completed within the
+	// SLA, per second of post-warmup simulated time.
+	Goodput float64
+	// ShedRate is the fraction of post-warmup arrivals the admission
+	// policy turned away.
+	ShedRate float64
+	// SLAViolationMinutes counts scaled minutes — 1/1440 of the diurnal
+	// day, or of the run when no day is configured — in which at least one
+	// admitted post-warmup query missed the SLA. Shed queries are charged
+	// to ShedRate, not to violation minutes.
+	SLAViolationMinutes float64
+	// MeanActiveNodes is the time-weighted mean size of the active set
+	// over the run (constant StartNodes without an autoscaler).
+	MeanActiveNodes float64
+	// ScaleUps and ScaleDowns count autoscaler provisioning and drain
+	// decisions.
+	ScaleUps, ScaleDowns int
+	// RevisitRate is the fraction of post-warmup arrivals from revisiting
+	// users (0 without a population).
+	RevisitRate float64
 }
 
 // subState is one sub-request's router-side bookkeeping: the shard fan-out
@@ -176,13 +234,14 @@ type subCopy struct {
 
 // simState is one Simulate run's mutable state.
 type simState struct {
-	cfg     Config
-	plan    *Plan
-	queues  []*serve.Queue
-	faults  *faultState
-	subs    []subState
-	copies  []subCopy
-	maxWait float64 // worst post-warmup queueing delay (satellite fix:
+	cfg      Config
+	plan     *Plan
+	queues   []*serve.Queue
+	faults   *faultState
+	subs     []subState
+	copies   []subCopy
+	warmupMs float64 // open-loop warmup horizon (0 in closed-loop mode)
+	maxWait  float64 // worst post-warmup queueing delay (satellite fix:
 	// warmup queries' waits are excluded, matching serve.Simulate)
 }
 
@@ -247,7 +306,6 @@ func (s *simState) run() {
 			return a.attempt - b.attempt
 		}
 	})
-	cfg := &s.cfg
 	prevArrive := math.Inf(-1)
 	for i := range s.copies {
 		c := &s.copies[i]
@@ -256,41 +314,53 @@ func (s *simState) run() {
 				"cluster: copy arrivals not monotone (%g after %g)", c.arrive, prevArrive)
 			prevArrive = c.arrive
 		}
-		sub := &s.subs[c.sub]
-		if c.kind != copyPrimary && sub.best <= c.launch {
-			continue // a response arrived before this deadline; never sent
+		s.serveCopy(c, c.node)
+	}
+}
+
+// serveCopy processes one copy at its node-arrival instant: conditional
+// launch suppression, fault application, jitter, FCFS submission, and the
+// router-side best-response update. node is the effective target — equal
+// to c.node in closed-loop mode, but the open-loop simulator re-routes
+// copies whose planned node was drained from the active set between
+// scheduling and arrival. Callers must invoke it in (arrive, sub, attempt)
+// order, the global node-arrival order the FCFS queues require.
+func (s *simState) serveCopy(c *subCopy, node int) {
+	sub := &s.subs[c.sub]
+	if c.kind != copyPrimary && sub.best <= c.launch {
+		return // a response arrived before this deadline; never sent
+	}
+	switch c.kind {
+	case copyHedge:
+		sub.hedged = true
+	case copyRetry:
+		sub.retries++
+	}
+	sub.retries += c.resends
+	cfg := &s.cfg
+	s.faults.applyOutages(node, c.arrive, s.queues[node])
+	svc := sub.svcMs
+	if f := s.faults.slowFactor(node, c.arrive); f != 1 {
+		svc *= f
+	}
+	if cfg.JitterFrac > 0 {
+		var draw float64
+		if c.attempt == 0 {
+			j := stats.SeededRNG(stats.SplitSeed(cfg.Seed^0x717E2, uint64(sub.q*s.plan.Nodes+node)))
+			draw = j.NormFloat64()
+		} else {
+			draw = retryJitter(cfg.Seed, sub.q, node, c.attempt, s.plan.Nodes)
 		}
-		switch c.kind {
-		case copyHedge:
-			sub.hedged = true
-		case copyRetry:
-			sub.retries++
+		svc *= math.Exp(cfg.JitterFrac * draw)
+	}
+	start, done := s.queues[node].Submit(c.arrive, svc)
+	if sub.q >= cfg.WarmupQueries && sub.dispatch >= s.warmupMs {
+		if w := start - c.arrive; w > s.maxWait {
+			s.maxWait = w
 		}
-		sub.retries += c.resends
-		s.faults.applyOutages(c.node, c.arrive, s.queues[c.node])
-		svc := sub.svcMs
-		if f := s.faults.slowFactor(c.node, c.arrive); f != 1 {
-			svc *= f
-		}
-		if cfg.JitterFrac > 0 {
-			var draw float64
-			if c.attempt == 0 {
-				j := stats.SeededRNG(stats.SplitSeed(cfg.Seed^0x717E2, uint64(sub.q*s.plan.Nodes+c.node)))
-				draw = j.NormFloat64()
-			} else {
-				draw = retryJitter(cfg.Seed, sub.q, c.node, c.attempt, s.plan.Nodes)
-			}
-			svc *= math.Exp(cfg.JitterFrac * draw)
-		}
-		start, done := s.queues[c.node].Submit(c.arrive, svc)
-		if sub.q >= cfg.WarmupQueries {
-			if w := start - c.arrive; w > s.maxWait {
-				s.maxWait = w
-			}
-		}
-		if back := done + cfg.Net.LatencyMs + cfg.Net.TransferMs(sub.respBytes); back < sub.best {
-			sub.best = back
-		}
+	}
+	if back := done + cfg.Net.LatencyMs + cfg.Net.TransferMs(sub.respBytes); back < sub.best {
+		sub.best = back
 	}
 }
 
@@ -329,9 +399,17 @@ func (s *simState) resolve(sub *subState) (doneAt float64, ok bool) {
 // the arrival stream, each (query, node, attempt) jitter and drop draw,
 // and each node's fault timeline are all pure functions of (Seed, index)
 // via stats.SplitSeed, so the result is a pure function of the config.
+//
+// With Open set, the run switches to the open-loop live-traffic mode in
+// openloop.go: a time-driven traffic stream replaces the closed-loop
+// Poisson count, and admission control, the user population, and the
+// autoscaler come into play.
 func Simulate(cfg Config) (Result, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return Result{}, err
+	}
+	if cfg.Open != nil {
+		return simulateOpen(cfg)
 	}
 	plan := cfg.Plan
 	model := plan.Model

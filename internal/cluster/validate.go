@@ -26,7 +26,7 @@ func (c Config) Validate() error {
 	if c.SamplesPerQuery < 1 {
 		errs = append(errs, fmt.Errorf("cluster: %d samples per query", c.SamplesPerQuery))
 	}
-	if c.MeanArrivalMs <= 0 {
+	if c.Open == nil && c.MeanArrivalMs <= 0 {
 		errs = append(errs, fmt.Errorf("cluster: non-positive mean arrival %g ms", c.MeanArrivalMs))
 	}
 	if err := c.Timing.Validate(); err != nil {
@@ -48,12 +48,24 @@ func (c Config) Validate() error {
 	if c.WarmupQueries < -1 {
 		errs = append(errs, fmt.Errorf("cluster: warmup %d (use -1 for explicit zero)", c.WarmupQueries))
 	}
-	queries := c.Queries
-	if queries == 0 {
-		queries = 2000
-	}
-	if c.WarmupQueries >= queries && queries > 0 {
-		errs = append(errs, fmt.Errorf("cluster: warmup %d >= queries %d", c.WarmupQueries, queries))
+	if c.Open != nil {
+		if c.MeanArrivalMs != 0 || c.Queries != 0 || c.WarmupQueries != 0 {
+			errs = append(errs, fmt.Errorf("cluster: closed-loop load knobs (mean arrival %g, queries %d, warmup %d) are unused with an open-loop config",
+				c.MeanArrivalMs, c.Queries, c.WarmupQueries))
+		}
+		nodes := 0
+		if c.Plan != nil {
+			nodes = c.Plan.Nodes
+		}
+		errs = append(errs, c.Open.validateErrs(nodes)...)
+	} else {
+		queries := c.Queries
+		if queries == 0 {
+			queries = 2000
+		}
+		if c.WarmupQueries >= queries && queries > 0 {
+			errs = append(errs, fmt.Errorf("cluster: warmup %d >= queries %d", c.WarmupQueries, queries))
+		}
 	}
 	f := c.Faults
 	if err := f.validate(); err != nil {

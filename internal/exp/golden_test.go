@@ -16,6 +16,7 @@ import (
 	"dlrmsim/internal/dlrm"
 	"dlrmsim/internal/serve"
 	"dlrmsim/internal/trace"
+	"dlrmsim/internal/traffic"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current simulator")
@@ -47,6 +48,15 @@ type golden struct {
 	// ClusterFaultCompleteness maps the same policies to the mean join
 	// completeness — 1 everywhere except the degraded-join policy.
 	ClusterFaultCompleteness map[string]float64 `json:"cluster_fault_completeness"`
+	// ClusterOpen* pin the live-traffic tier under the fixed golden
+	// overload (goldenOpenConfig): bursty MMPP arrivals 15% past fleet
+	// capacity over a revisiting population, keyed by serving mode
+	// ("noshed", "shed", "autoscale"). Together they pin the arrival
+	// stream, population, admission, and autoscaler arithmetic.
+	ClusterOpenGoodputQPS       map[string]float64 `json:"cluster_open_goodput_qps"`
+	ClusterOpenShedRate         map[string]float64 `json:"cluster_open_shed_rate"`
+	ClusterOpenViolationMinutes map[string]float64 `json:"cluster_open_violation_minutes"`
+	ClusterOpenMeanNodes        map[string]float64 `json:"cluster_open_mean_nodes"`
 }
 
 // goldenClusterConfig is the fixed reference cluster for the pinned p95
@@ -97,6 +107,54 @@ func goldenPolicies() map[string]cluster.Mitigation {
 		"retry":    {TimeoutMs: 0.5, MaxRetries: 3},
 		"degraded": {TimeoutMs: 0.3, DegradedJoin: true},
 	}
+}
+
+// goldenOpenConfig is the fixed open-loop reference: the golden cluster
+// at High Hot with replication off (so the cold-path capacity estimate is
+// exact), driven 15% past fleet capacity by bursty MMPP arrivals over a
+// revisiting population. The mode selects the serving posture: "noshed"
+// admits everything, "shed" bounds queues at a backlog budget, and
+// "autoscale" starts at half the fleet and grows under the same budget.
+func goldenOpenConfig(t *testing.T, model dlrm.Config, mode string) cluster.Config {
+	t.Helper()
+	cfg := goldenClusterConfig(t, model, trace.HighHot, 0)
+	cfg.MeanArrivalMs = 0
+	cfg.Queries = 0
+	arrival := cluster.ArrivalForUtilization(cfg.Plan, cfg.Timing, cfg.SamplesPerQuery, cfg.ServersPerNode, 1.15)
+	duration := 1200 * arrival
+	const budget = 0.25
+	open := &cluster.OpenLoop{
+		Arrivals: traffic.Config{
+			Model:        traffic.MMPP,
+			RatePerMs:    1 / arrival,
+			BurstFactor:  2,
+			BurstEveryMs: 150 * arrival,
+			BurstMeanMs:  15 * arrival,
+		},
+		Population: &traffic.Population{Users: 100000, RevisitProb: 0.6, Affinity: 0.5},
+		DurationMs: duration,
+		SLAMs:      0.5,
+	}
+	switch mode {
+	case "noshed":
+	case "shed":
+		open.Admission = cluster.Admission{Policy: cluster.ShedOverBudget, QueueBudgetMs: budget}
+	case "autoscale":
+		open.Admission = cluster.Admission{Policy: cluster.ShedOverBudget, QueueBudgetMs: budget}
+		open.StartNodes = 2
+		open.Autoscale = &cluster.Autoscaler{
+			IntervalMs:    duration / 96,
+			UpBacklogMs:   budget / 8,
+			DownBacklogMs: budget / 64,
+			ProvisionMs:   duration / 96,
+			MinNodes:      2,
+			MaxNodes:      4,
+		}
+	default:
+		t.Fatalf("unknown open-loop golden mode %q", mode)
+	}
+	cfg.Open = open
+	return cfg
 }
 
 // goldenBatchingConfig is the fixed reference load for the serving-layer
@@ -166,6 +224,20 @@ func computeGolden(t *testing.T) golden {
 		g.ClusterFaultP99Ms[name] = cres.P99
 		g.ClusterFaultCompleteness[name] = cres.Completeness
 	}
+	g.ClusterOpenGoodputQPS = map[string]float64{}
+	g.ClusterOpenShedRate = map[string]float64{}
+	g.ClusterOpenViolationMinutes = map[string]float64{}
+	g.ClusterOpenMeanNodes = map[string]float64{}
+	for _, mode := range []string{"noshed", "shed", "autoscale"} {
+		cres, err := cluster.Simulate(goldenOpenConfig(t, cmodel, mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ClusterOpenGoodputQPS[mode] = cres.Goodput
+		g.ClusterOpenShedRate[mode] = cres.ShedRate
+		g.ClusterOpenViolationMinutes[mode] = cres.SLAViolationMinutes
+		g.ClusterOpenMeanNodes[mode] = cres.MeanActiveNodes
+	}
 	return g
 }
 
@@ -192,6 +264,26 @@ func TestGoldenRegression(t *testing.T) {
 	}
 	if got.ClusterFaultCompleteness["degraded"] >= 1 {
 		t.Error("degraded policy never abandoned a lookup under golden faults")
+	}
+	// The live-traffic tier's acceptance criterion, also checked fresh:
+	// under the golden overload, admission control demonstrably reduces
+	// SLA-violation minutes versus the no-shed baseline at a nonzero shed
+	// rate, and the autoscaled fleet actually moves off its floor.
+	noshedViol := got.ClusterOpenViolationMinutes["noshed"]
+	if noshedViol == 0 {
+		t.Error("no-shed baseline saw no SLA violation minutes under the golden overload")
+	}
+	if shedViol := got.ClusterOpenViolationMinutes["shed"]; shedViol >= noshedViol {
+		t.Errorf("shedding does not reduce SLA violation minutes: shed %.1f vs noshed %.1f", shedViol, noshedViol)
+	}
+	if got.ClusterOpenShedRate["shed"] == 0 {
+		t.Error("shed mode never shed an arrival under the golden overload")
+	}
+	if got.ClusterOpenShedRate["noshed"] != 0 {
+		t.Errorf("no-shed mode shed %.3f of arrivals", got.ClusterOpenShedRate["noshed"])
+	}
+	if mean := got.ClusterOpenMeanNodes["autoscale"]; mean <= 2 || mean > 4 {
+		t.Errorf("autoscaled fleet averaged %.2f nodes, want strictly inside (2, 4]", mean)
 	}
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
@@ -283,4 +375,8 @@ func TestGoldenRegression(t *testing.T) {
 	}
 	compareMap("fault p99", got.ClusterFaultP99Ms, want.ClusterFaultP99Ms)
 	compareMap("fault completeness", got.ClusterFaultCompleteness, want.ClusterFaultCompleteness)
+	compareMap("open goodput", got.ClusterOpenGoodputQPS, want.ClusterOpenGoodputQPS)
+	compareMap("open shed rate", got.ClusterOpenShedRate, want.ClusterOpenShedRate)
+	compareMap("open violation minutes", got.ClusterOpenViolationMinutes, want.ClusterOpenViolationMinutes)
+	compareMap("open mean nodes", got.ClusterOpenMeanNodes, want.ClusterOpenMeanNodes)
 }

@@ -157,6 +157,20 @@ func (q *Queue) Unavailable(until float64) {
 // Servers returns the queue's server count.
 func (q *Queue) Servers() int { return len(q.free) }
 
+// EarliestFree returns the earliest instant any server can start new
+// work. max(0, EarliestFree()−now) is the queueing delay a request
+// arriving now would see — the backlog signal internal/cluster's
+// admission control and autoscaler read.
+func (q *Queue) EarliestFree() float64 {
+	best := q.free[0]
+	for _, f := range q.free[1:] {
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
 // BusyMs returns the total service time submitted so far — the
 // numerator of a utilization estimate.
 func (q *Queue) BusyMs() float64 { return q.busy }

@@ -253,6 +253,28 @@ func TestQueueUnavailable(t *testing.T) {
 	}
 }
 
+// TestQueueEarliestFree: the backlog signal is the minimum over server
+// free times — zero on an idle queue, and tracking the least-loaded
+// server, not the busiest one.
+func TestQueueEarliestFree(t *testing.T) {
+	q := NewQueue(2)
+	if q.EarliestFree() != 0 {
+		t.Fatalf("idle queue EarliestFree() = %g, want 0", q.EarliestFree())
+	}
+	q.Submit(0, 4) // server A busy until 4
+	if q.EarliestFree() != 0 {
+		t.Fatalf("one idle server left, EarliestFree() = %g, want 0", q.EarliestFree())
+	}
+	q.Submit(1, 2) // server B busy until 3
+	if q.EarliestFree() != 3 {
+		t.Fatalf("EarliestFree() = %g, want 3 (least-loaded server)", q.EarliestFree())
+	}
+	q.Unavailable(10)
+	if q.EarliestFree() != 10 {
+		t.Fatalf("outage not reflected: EarliestFree() = %g, want 10", q.EarliestFree())
+	}
+}
+
 // TestMeetsSLABoundary: compliance is inclusive — a p95 exactly on the
 // target counts as meeting the SLA.
 func TestMeetsSLABoundary(t *testing.T) {

@@ -1,0 +1,300 @@
+// Package traffic generates deterministic open-loop query arrival streams
+// for the cluster serving tier: Poisson and Markov-modulated (MMPP)
+// processes with diurnal ramps and flash-crowd bursts, plus a synthetic
+// user population whose revisit behavior layers per-user embedding
+// locality on the trace tier's Zipf hotness classes.
+//
+// "Open-loop" means arrivals are independent of the system's state — the
+// load a production fleet faces, where users do not wait for each other's
+// responses. Every query in the closed-loop simulators is drawn from a
+// fixed count at a fixed mean rate; here the instantaneous rate is a
+// deterministic function of simulated time,
+//
+//	rate(t) = RatePerMs · diurnal(t) · burst(t) · flash(t),
+//
+// and arrivals are drawn from the corresponding non-homogeneous Poisson
+// process by thinning: candidates at the peak rate, each accepted with
+// probability rate(t)/peak. Burst and flash episodes are alternating
+// exponential on/off windows materialized from dedicated split streams,
+// so every window boundary — and therefore every arrival — is a pure
+// function of Config.Seed via stats.SplitSeed. Two streams built from the
+// same config emit byte-identical arrival sequences no matter what else
+// runs in the process, which is the contract the experiment runner's
+// -workers byte-identity guarantee rests on.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlrmsim/internal/stats"
+)
+
+// Model selects the arrival process family.
+type Model int
+
+const (
+	// Poisson is a (possibly diurnally/flash-modulated) Poisson process
+	// with no burst state.
+	Poisson Model = iota
+	// MMPP is a two-state Markov-modulated Poisson process: the rate
+	// multiplies by BurstFactor during exponentially distributed burst
+	// dwells separated by exponentially distributed calm dwells.
+	MMPP
+)
+
+// String returns the model's CLI spelling.
+func (m Model) String() string {
+	switch m {
+	case Poisson:
+		return "poisson"
+	case MMPP:
+		return "mmpp"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseModel resolves an arrival model from its CLI spelling.
+func ParseModel(name string) (Model, error) {
+	switch name {
+	case "poisson":
+		return Poisson, nil
+	case "mmpp":
+		return MMPP, nil
+	}
+	return 0, fmt.Errorf("traffic: unknown arrival model %q", name)
+}
+
+// Config describes one arrival stream. RatePerMs is the base rate; the
+// modulation terms are all optional and multiply it.
+type Config struct {
+	// Model is the process family (Poisson or MMPP).
+	Model Model
+	// RatePerMs is the base mean arrival rate in queries per simulated ms.
+	RatePerMs float64
+	// BurstFactor multiplies the rate while the MMPP burst state is
+	// active (> 1; MMPP only).
+	BurstFactor float64
+	// BurstEveryMs is the mean calm dwell between burst episodes (MMPP
+	// only).
+	BurstEveryMs float64
+	// BurstMeanMs is the mean burst dwell (MMPP only).
+	BurstMeanMs float64
+	// DayMs is the diurnal period; the rate ramps as
+	// 1 - DiurnalAmp·cos(2πt/DayMs), so a day starts at its overnight
+	// trough and peaks mid-period. 0 disables the ramp.
+	DayMs float64
+	// DiurnalAmp is the diurnal swing in [0, 1): peak/trough rates are
+	// (1±Amp) times the base.
+	DiurnalAmp float64
+	// FlashEveryMs is the mean gap between flash-crowd episodes (0
+	// disables them).
+	FlashEveryMs float64
+	// FlashMeanMs is the mean flash-crowd duration.
+	FlashMeanMs float64
+	// FlashFactor multiplies the rate during a flash crowd (>= 1).
+	FlashFactor float64
+	// Seed derives every stream (candidates, thinning coins, episode
+	// windows) via stats.SplitSeed.
+	Seed uint64
+}
+
+// seed salts for the stream's independent split streams.
+const (
+	saltArrival uint64 = 0xA551F
+	saltBurst   uint64 = 0xB0257
+	saltFlash   uint64 = 0xF1A58
+)
+
+// Validate reports every violation in the stream config at once. Fields
+// of disabled features must be zero, so a flag typo (burst knobs without
+// -arrivals mmpp, flash duration without a flash interval) surfaces as an
+// error instead of being silently ignored.
+func (c Config) Validate() error {
+	var errs []error
+	if c.Model != Poisson && c.Model != MMPP {
+		errs = append(errs, fmt.Errorf("traffic: invalid arrival model %d", c.Model))
+	}
+	if c.RatePerMs <= 0 || math.IsInf(c.RatePerMs, 0) || math.IsNaN(c.RatePerMs) {
+		errs = append(errs, fmt.Errorf("traffic: non-positive arrival rate %g/ms", c.RatePerMs))
+	}
+	switch c.Model {
+	case MMPP:
+		if c.BurstFactor <= 1 {
+			errs = append(errs, fmt.Errorf("traffic: MMPP burst factor %g (want > 1)", c.BurstFactor))
+		}
+		if c.BurstEveryMs <= 0 || c.BurstMeanMs <= 0 {
+			errs = append(errs, fmt.Errorf("traffic: MMPP dwell times must be positive (calm %g ms, burst %g ms)",
+				c.BurstEveryMs, c.BurstMeanMs))
+		}
+	default:
+		if c.BurstFactor != 0 || c.BurstEveryMs != 0 || c.BurstMeanMs != 0 {
+			errs = append(errs, fmt.Errorf("traffic: burst parameters need the mmpp arrival model"))
+		}
+	}
+	if c.DiurnalAmp < 0 || c.DiurnalAmp >= 1 {
+		errs = append(errs, fmt.Errorf("traffic: diurnal amplitude %g outside [0,1)", c.DiurnalAmp))
+	}
+	if c.DayMs < 0 {
+		errs = append(errs, fmt.Errorf("traffic: negative diurnal period %g ms", c.DayMs))
+	}
+	if c.DiurnalAmp > 0 && c.DayMs <= 0 {
+		errs = append(errs, fmt.Errorf("traffic: diurnal amplitude needs a positive day period"))
+	}
+	if c.FlashEveryMs < 0 {
+		errs = append(errs, fmt.Errorf("traffic: negative flash interval %g ms", c.FlashEveryMs))
+	}
+	if c.FlashEveryMs > 0 {
+		if c.FlashMeanMs <= 0 {
+			errs = append(errs, fmt.Errorf("traffic: flash crowds need a positive mean duration"))
+		}
+		if c.FlashFactor < 1 {
+			errs = append(errs, fmt.Errorf("traffic: flash factor %g < 1", c.FlashFactor))
+		}
+	} else if c.FlashMeanMs != 0 || c.FlashFactor != 0 {
+		errs = append(errs, fmt.Errorf("traffic: flash parameters need a positive flash interval"))
+	}
+	return errors.Join(errs...)
+}
+
+// episodes is a lazily materialized alternating on/off window timeline —
+// the same machinery the cluster fault model uses for slowdown and outage
+// tracks, rebuilt here so episode boundaries are a pure function of
+// (seed, salt) independent of any consumer.
+type episodes struct {
+	rng     stats.RNG
+	gapMean float64
+	durMean float64
+	win     [][2]float64
+	horizon float64
+}
+
+func newEpisodes(seed, salt uint64, gapMean, durMean float64) *episodes {
+	return &episodes{
+		rng:     stats.SeededRNG(stats.SplitSeed(seed^salt, 0)),
+		gapMean: gapMean,
+		durMean: durMean,
+	}
+}
+
+// extend materializes windows until the timeline covers t.
+func (e *episodes) extend(t float64) {
+	for e.horizon <= t {
+		start := e.horizon + e.rng.ExpFloat64()*e.gapMean
+		end := start + e.rng.ExpFloat64()*e.durMean
+		e.win = append(e.win, [2]float64{start, end})
+		e.horizon = end
+	}
+}
+
+// inside reports whether t falls in an episode window (binary search over
+// the materialized timeline, so non-monotone queries are answered too).
+func (e *episodes) inside(t float64) bool {
+	e.extend(t)
+	lo, hi := 0, len(e.win)
+	for lo < hi { // first window with start > t
+		mid := (lo + hi) / 2
+		if e.win[mid][0] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo > 0 && t < e.win[lo-1][1]
+}
+
+// windows returns every episode window starting before until.
+func (e *episodes) windows(until float64) [][2]float64 {
+	e.extend(until)
+	out := make([][2]float64, 0, len(e.win))
+	for _, w := range e.win {
+		if w[0] >= until {
+			break
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Stream draws one arrival sequence. Not safe for concurrent use; build
+// one Stream per simulation.
+type Stream struct {
+	cfg   Config
+	rng   stats.RNG // candidate gaps and thinning coins
+	now   float64
+	peak  float64
+	burst *episodes // nil unless MMPP
+	flash *episodes // nil unless flash crowds are on
+}
+
+// NewStream validates cfg and returns a fresh stream positioned at t = 0.
+func NewStream(cfg Config) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		cfg:  cfg,
+		rng:  stats.SeededRNG(stats.SplitSeed(cfg.Seed^saltArrival, 0)),
+		peak: cfg.RatePerMs * (1 + cfg.DiurnalAmp),
+	}
+	if cfg.Model == MMPP {
+		s.peak *= cfg.BurstFactor
+		s.burst = newEpisodes(cfg.Seed, saltBurst, cfg.BurstEveryMs, cfg.BurstMeanMs)
+	}
+	if cfg.FlashEveryMs > 0 {
+		s.peak *= cfg.FlashFactor
+		s.flash = newEpisodes(cfg.Seed, saltFlash, cfg.FlashEveryMs, cfg.FlashMeanMs)
+	}
+	return s, nil
+}
+
+// RateAt returns the instantaneous arrival rate at t in queries per ms.
+func (s *Stream) RateAt(t float64) float64 {
+	rate := s.cfg.RatePerMs
+	if s.cfg.DiurnalAmp > 0 {
+		rate *= 1 - s.cfg.DiurnalAmp*math.Cos(2*math.Pi*t/s.cfg.DayMs)
+	}
+	if s.burst != nil && s.burst.inside(t) {
+		rate *= s.cfg.BurstFactor
+	}
+	if s.flash != nil && s.flash.inside(t) {
+		rate *= s.cfg.FlashFactor
+	}
+	return rate
+}
+
+// PeakRate returns the thinning envelope — the supremum of RateAt.
+func (s *Stream) PeakRate() float64 { return s.peak }
+
+// Next returns the next arrival time. Arrivals are strictly increasing
+// (exponential gaps are almost surely positive) and unbounded; the caller
+// decides when the stream's horizon is reached.
+func (s *Stream) Next() float64 {
+	for {
+		s.now += s.rng.ExpFloat64() / s.peak
+		if s.rng.Float64()*s.peak < s.RateAt(s.now) {
+			return s.now
+		}
+	}
+}
+
+// BurstWindows returns the MMPP burst episodes starting before until
+// (nil for Poisson streams). The windows are a pure function of the
+// config seed — "bursts occur exactly where seeded".
+func (s *Stream) BurstWindows(until float64) [][2]float64 {
+	if s.burst == nil {
+		return nil
+	}
+	return s.burst.windows(until)
+}
+
+// FlashWindows returns the flash-crowd episodes starting before until
+// (nil when flash crowds are off).
+func (s *Stream) FlashWindows(until float64) [][2]float64 {
+	if s.flash == nil {
+		return nil
+	}
+	return s.flash.windows(until)
+}
