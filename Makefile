@@ -7,12 +7,12 @@ GO ?= go
 # sweep, the engine fan-out, a full end-to-end artifact, plus the
 # per-subsystem micro-benches (memsim access path, cpusim step loop,
 # cluster discrete-event run).
-BENCH_REGEX ?= BenchmarkSweepParallel|BenchmarkEngineCells|BenchmarkFig13EndToEnd|BenchmarkEmbeddingKernel|BenchmarkHierarchyAccess|BenchmarkCacheLookupHit|BenchmarkCacheFillEvict|BenchmarkCoreStepLoop|BenchmarkClusterSimulate
-BENCH_PKGS  ?= . ./internal/memsim ./internal/cpusim ./internal/cluster
+BENCH_REGEX ?= BenchmarkSweepParallel|BenchmarkEngineCells|BenchmarkFig13EndToEnd|BenchmarkEmbeddingKernel|BenchmarkHierarchyAccess|BenchmarkCacheLookupHit|BenchmarkCacheFillEvict|BenchmarkCoreStepLoop|BenchmarkClusterSimulate|BenchmarkHetSched
+BENCH_PKGS  ?= . ./internal/memsim ./internal/cpusim ./internal/cluster ./internal/hetsched
 BENCHTIME   ?= 2s
 BENCH_N     ?= 0
 
-.PHONY: build vet test race bench bench-json bench-compare golden fuzz verify
+.PHONY: build vet test race bench bench-json bench-compare golden golden-update fuzz verify
 
 # Per-target budget for `make fuzz` (matches CI's fuzz-smoke job).
 FUZZTIME ?= 20s
@@ -50,20 +50,26 @@ bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then benchstat BENCH_$(OLD).bench BENCH_$(NEW).bench; fi
 	$(GO) run ./cmd/benchjson -compare BENCH_$(OLD).json BENCH_$(NEW).json
 
-# Regenerate the golden headline quantities after a DELIBERATE change to
-# simulator arithmetic (review the diff — this is the regression baseline).
-golden:
+# Regenerate every golden regression file after a DELIBERATE change to
+# simulator arithmetic (review the diff — this is the regression
+# baseline). All pinned quantities live in internal/exp/testdata/golden.json,
+# so one -update run covers the engine, serving, cluster, and hetsched
+# tiers. `golden` is the historical alias.
+golden-update:
 	$(GO) test ./internal/exp -run TestGoldenRegression -update
 
+golden: golden-update
+
 # Fuzz the structural invariants: cache residency/accounting, shard-plan
-# row ownership, seed-splitting collision freedom, and arrival-stream
-# monotonicity/determinism. Each target gets FUZZTIME; the checked-in
-# corpora under testdata/fuzz run on every plain `make test` as ordinary
-# seed cases.
+# row ownership, seed-splitting collision freedom, arrival-stream
+# monotonicity/determinism, and phase-graph validation-vs-scheduling
+# agreement. Each target gets FUZZTIME; the checked-in corpora under
+# testdata/fuzz run on every plain `make test` as ordinary seed cases.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCacheAccess -fuzztime $(FUZZTIME) ./internal/memsim
 	$(GO) test -run '^$$' -fuzz FuzzShardPlan -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzSplitSeed -fuzztime $(FUZZTIME) ./internal/stats
 	$(GO) test -run '^$$' -fuzz FuzzArrivalStream -fuzztime $(FUZZTIME) ./internal/traffic
+	$(GO) test -run '^$$' -fuzz FuzzPhaseGraph -fuzztime $(FUZZTIME) ./internal/hetsched
 
 verify: build vet test race

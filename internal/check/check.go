@@ -12,7 +12,10 @@
 // killing the whole grid.
 package check
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Enabled turns runtime invariant assertions on. It is set once at process
 // start (CLI flag parsing, test setup) before any simulation runs; it must
@@ -27,4 +30,11 @@ func Assert(cond bool, format string, args ...any) {
 	if Enabled && !cond {
 		panic(fmt.Sprintf("invariant violated: "+format, args...))
 	}
+}
+
+// Finite reports whether v is neither NaN nor ±Inf. Simulator result
+// paths assert it on every summary statistic they emit — a non-finite
+// latency or utilization always means an engine bug, never bad input.
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }

@@ -351,7 +351,7 @@ func (s *simState) serveCopy(c *subCopy, node int) {
 		} else {
 			draw = retryJitter(cfg.Seed, sub.q, node, c.attempt, s.plan.Nodes)
 		}
-		svc *= math.Exp(cfg.JitterFrac * draw)
+		svc *= serve.Jitter(cfg.JitterFrac, draw)
 	}
 	start, done := s.queues[node].Submit(c.arrive, svc)
 	if sub.q >= cfg.WarmupQueries && sub.dispatch >= s.warmupMs {
@@ -604,8 +604,7 @@ func Simulate(cfg Config) (Result, error) {
 		res.Imbalance = busyMax / (busySum / float64(plan.Nodes))
 	}
 	if check.Enabled {
-		finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
-		check.Assert(finite(res.P50) && finite(res.P99) && finite(res.Mean) && finite(res.Utilization),
+		check.Assert(check.Finite(res.P50) && check.Finite(res.P99) && check.Finite(res.Mean) && check.Finite(res.Utilization),
 			"cluster: non-finite latency summary (p50 %g, p99 %g, mean %g, util %g)",
 			res.P50, res.P99, res.Mean, res.Utilization)
 	}

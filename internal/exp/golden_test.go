@@ -14,6 +14,7 @@ import (
 	"dlrmsim/internal/cluster"
 	"dlrmsim/internal/core"
 	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/hetsched"
 	"dlrmsim/internal/serve"
 	"dlrmsim/internal/trace"
 	"dlrmsim/internal/traffic"
@@ -57,6 +58,22 @@ type golden struct {
 	ClusterOpenShedRate         map[string]float64 `json:"cluster_open_shed_rate"`
 	ClusterOpenViolationMinutes map[string]float64 `json:"cluster_open_violation_minutes"`
 	ClusterOpenMeanNodes        map[string]float64 `json:"cluster_open_mean_nodes"`
+	// HetP95Ms maps "mix|policy" to the heterogeneous scheduler's p95 over
+	// the fixed synthetic phase graph (goldenHetGraph — no engine
+	// dependence), pinning the event loop, placement, SMT contention, and
+	// batching arithmetic. The pinned mixes are the three policy-winning
+	// regimes: smt2 (affinity = MP-HT), biglittle (EFT), hetero (steal).
+	HetP95Ms map[string]float64 `json:"het_p95_ms"`
+	// HetSMT*OverlapMs pin the SMT-pair overlap accounting for the smt2
+	// affinity cell: cross-kind overlap is the colocation working, and
+	// same-kind overlap must be exactly zero (the scheme never pays the
+	// like-phase contention penalty).
+	HetSMTCrossOverlapMs float64 `json:"het_smt_cross_overlap_ms"`
+	HetSMTSameOverlapMs  float64 `json:"het_smt_same_overlap_ms"`
+	// HetBatchP95Ms maps "u=util|b=maxbatch|h=holdµs" to the cpu2gpu1
+	// fleet's p95 under the fixed batching-economics sweep, pinning launch
+	// amortization and the hold-window arithmetic.
+	HetBatchP95Ms map[string]float64 `json:"het_batch_p95_ms"`
 }
 
 // goldenClusterConfig is the fixed reference cluster for the pinned p95
@@ -157,6 +174,59 @@ func goldenOpenConfig(t *testing.T, model dlrm.Config, mode string) cluster.Conf
 	return cfg
 }
 
+// goldenHetGraph is the fixed synthetic phase graph for the pinned
+// heterogeneous-scheduling quantities — 40 µs of gather, 30 µs of dense
+// work. Like goldenClusterConfig's explicit Timing, it has no engine
+// dependence, so these cells pin the scheduler arithmetic alone.
+func goldenHetGraph() hetsched.Graph { return hetsched.DLRMGraph(40, 30) }
+
+// goldenHetConfig is one policy-sweep cell: the named mix at 75% target
+// utilization under jitter 0.25 — the same shape the het1 experiment runs,
+// minus the calibrated graph.
+func goldenHetConfig(t *testing.T, mix string, pol hetsched.Policy) hetsched.Config {
+	t.Helper()
+	devs, err := hetsched.NewMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := goldenHetGraph()
+	return hetsched.Config{
+		Graph:         g,
+		Devices:       devs,
+		Policy:        pol,
+		MeanArrivalMs: hetsched.ArrivalForUtilization(g, devs, 0.75),
+		Requests:      1500,
+		JitterFrac:    0.25,
+		Seed:          1,
+	}
+}
+
+// goldenHetBatchConfig is one batching-economics cell: the cpu2gpu1 fleet
+// with the GPU's batch limit and hold window overridden, under arrivals
+// sized from the fully-amortizing (batch-64) fleet so every cell at one
+// util faces identical load. No jitter — the batching arithmetic is the
+// quantity under pin.
+func goldenHetBatchConfig(t *testing.T, maxBatch int, holdUs, util float64) hetsched.Config {
+	t.Helper()
+	ref, err := hetGPUFleet(64, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, err := hetGPUFleet(maxBatch, holdUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := goldenHetGraph()
+	return hetsched.Config{
+		Graph:         g,
+		Devices:       devs,
+		Policy:        hetsched.Affinity,
+		MeanArrivalMs: hetsched.ArrivalForUtilization(g, ref, util),
+		Requests:      1500,
+		Seed:          1,
+	}
+}
+
 // goldenBatchingConfig is the fixed reference load for the serving-layer
 // quantities.
 func goldenBatchingConfig() serve.BatchingConfig {
@@ -238,6 +308,33 @@ func computeGolden(t *testing.T) golden {
 		g.ClusterOpenViolationMinutes[mode] = cres.SLAViolationMinutes
 		g.ClusterOpenMeanNodes[mode] = cres.MeanActiveNodes
 	}
+	g.HetP95Ms = map[string]float64{}
+	for _, mix := range []string{"smt2", "biglittle", "hetero"} {
+		for _, pol := range hetsched.AllPolicies {
+			hres, err := hetsched.Simulate(goldenHetConfig(t, mix, pol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.HetP95Ms[mix+"|"+pol.String()] = hres.P95
+			if mix == "smt2" && pol == hetsched.Affinity {
+				g.HetSMTCrossOverlapMs = hres.CrossKindOverlapMs
+				g.HetSMTSameOverlapMs = hres.SameKindOverlapMs
+			}
+		}
+	}
+	g.HetBatchP95Ms = map[string]float64{}
+	for _, util := range []float64{0.35, 0.85} {
+		for _, pt := range []struct {
+			b int
+			h float64
+		}{{1, 0}, {64, 40}, {64, 0}} {
+			hres, err := hetsched.Simulate(goldenHetBatchConfig(t, pt.b, pt.h, util))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.HetBatchP95Ms[fmt.Sprintf("u=%.2f|b=%d|h=%g", util, pt.b, pt.h)] = hres.P95
+		}
+	}
 	return g
 }
 
@@ -284,6 +381,39 @@ func TestGoldenRegression(t *testing.T) {
 	}
 	if mean := got.ClusterOpenMeanNodes["autoscale"]; mean <= 2 || mean > 4 {
 		t.Errorf("autoscaled fleet averaged %.2f nodes, want strictly inside (2, 4]", mean)
+	}
+	// The heterogeneous-scheduling subsystem's acceptance criterion,
+	// checked fresh: each placement policy strictly wins one device-mix
+	// regime, and the SMT pair under affinity reproduces the paper's MP-HT
+	// colocation — the siblings overlap cross-kind only.
+	for mix, winner := range map[string]string{"smt2": "affinity", "biglittle": "eft", "hetero": "steal"} {
+		best := got.HetP95Ms[mix+"|"+winner]
+		for _, pol := range hetsched.AllPolicies {
+			if pol.String() == winner {
+				continue
+			}
+			if other := got.HetP95Ms[mix+"|"+pol.String()]; other <= best {
+				t.Errorf("%s does not win %s: p95 %.4f ms vs %s %.4f ms", winner, mix, best, pol, other)
+			}
+		}
+	}
+	if got.HetSMTSameOverlapMs != 0 {
+		t.Errorf("MP-HT colocation paid same-kind SMT overlap: %.4f ms", got.HetSMTSameOverlapMs)
+	}
+	if got.HetSMTCrossOverlapMs <= 0 {
+		t.Error("MP-HT colocation never overlapped the SMT siblings cross-kind")
+	}
+	// Batching economics, checked fresh: batch-of-1 drowns in per-launch
+	// cost at both loads, and at low load the hold window is a pure
+	// latency tax (hold 0 strictly beats hold 40).
+	for _, u := range []string{"0.35", "0.85"} {
+		solo, amortized := got.HetBatchP95Ms["u="+u+"|b=1|h=0"], got.HetBatchP95Ms["u="+u+"|b=64|h=40"]
+		if solo <= amortized {
+			t.Errorf("batch-of-1 p95 %.4f ms does not lose to batch-64 %.4f ms at util %s", solo, amortized, u)
+		}
+	}
+	if nohold, hold := got.HetBatchP95Ms["u=0.35|b=64|h=0"], got.HetBatchP95Ms["u=0.35|b=64|h=40"]; nohold >= hold {
+		t.Errorf("hold window is free at low load: p95 %.4f ms without vs %.4f ms with", nohold, hold)
 	}
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
@@ -379,4 +509,12 @@ func TestGoldenRegression(t *testing.T) {
 	compareMap("open shed rate", got.ClusterOpenShedRate, want.ClusterOpenShedRate)
 	compareMap("open violation minutes", got.ClusterOpenViolationMinutes, want.ClusterOpenViolationMinutes)
 	compareMap("open mean nodes", got.ClusterOpenMeanNodes, want.ClusterOpenMeanNodes)
+	compareMap("het p95", got.HetP95Ms, want.HetP95Ms)
+	compareMap("het batching p95", got.HetBatchP95Ms, want.HetBatchP95Ms)
+	if !close(got.HetSMTCrossOverlapMs, want.HetSMTCrossOverlapMs) {
+		t.Errorf("het SMT cross overlap = %.12g ms, golden %.12g ms", got.HetSMTCrossOverlapMs, want.HetSMTCrossOverlapMs)
+	}
+	if !close(got.HetSMTSameOverlapMs, want.HetSMTSameOverlapMs) {
+		t.Errorf("het SMT same overlap = %.12g ms, golden %.12g ms", got.HetSMTSameOverlapMs, want.HetSMTSameOverlapMs)
+	}
 }

@@ -1,0 +1,160 @@
+package exp
+
+// The heterogeneous-scheduling family (het1–het2) generalizes the
+// paper's MP-HT colocation: requests are typed phase graphs (gather →
+// interact → MLP) routed by a placement policy over a fleet mixing CPU
+// cores, a batching GPU-like device, and PIM-like gather engines. The
+// per-phase CPU costs are calibrated from the same memoized engine run
+// the cluster tier uses, so the phase graph reflects the simulated
+// hardware rather than hand-picked constants.
+
+import (
+	"fmt"
+
+	"dlrmsim/internal/core"
+	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/hetsched"
+	"dlrmsim/internal/platform"
+	"dlrmsim/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "het1", Title: "Heterogeneous scheduling: placement policy × device mix", Run: runHet1})
+	register(Experiment{ID: "het2", Title: "GPU batching economics: max batch × offered load", Run: runHet2})
+}
+
+// hetRequests keeps the het sweeps fast at every scale; one simulation is
+// O(requests × phases × devices).
+const hetRequests = 1500
+
+// hetJitter is the service-time variance the policy sweep runs under —
+// large enough that estimate-based placement is meaningfully wrong,
+// small enough that placement still dominates luck.
+const hetJitter = 0.25
+
+// hetGraph calibrates the DLRM phase graph from a (memoized) engine run:
+// the gather phase costs the report's cold per-lookup time over the
+// batch's lookups, and the dense phases split the report's dense-stage
+// time — the same TimingFromReport numbers the cluster tier serves with.
+func hetGraph(x *Context) (hetsched.Graph, error) {
+	model := x.Cfg.model(dlrm.RM2Small())
+	cores := x.Cfg.multiCores(platform.CascadeLake())
+	tm, err := clusterTiming(x, model, trace.MediumHot, core.Baseline, cores)
+	if err != nil {
+		return hetsched.Graph{}, err
+	}
+	lookups := x.Cfg.BatchSize * model.Tables * model.LookupsPerSample
+	gatherUs := tm.ColdLookupUs * float64(lookups)
+	denseUs := tm.DenseMs * 1e3
+	return hetsched.DLRMGraph(gatherUs, denseUs), nil
+}
+
+// runHet1 sweeps placement policy × device mix at fixed target
+// utilization. The interesting structure is that each policy owns a
+// regime: affinity wins on SMT siblings (it is the paper's MP-HT
+// colocation — the overlap columns show it never pays the same-kind
+// contention penalty), work stealing wins on uniform multi-core fleets
+// (post-hoc correction beats any ex-ante estimate once jitter lands),
+// and earliest-finish-time wins on speed-asymmetric big.LITTLE fleets
+// (the one regime where pricing devices matters more than conserving
+// work).
+func runHet1(x *Context) (*Table, error) {
+	t := &Table{
+		ID: "het1", Title: "Placement policy × device mix (rm2_1-calibrated phases, ~75% util, jitter 0.25)",
+		Headers: []string{"mix", "policy", "arrival (ms)", "p50 (ms)", "p95 (ms)", "wait (ms)", "steals", "util", "smt cross (ms)", "smt same (ms)"},
+	}
+	g, err := hetGraph(x)
+	if err != nil {
+		return nil, err
+	}
+	for _, mix := range hetsched.Mixes {
+		devs, err := hetsched.NewMix(mix)
+		if err != nil {
+			return nil, err
+		}
+		arrival := hetsched.ArrivalForUtilization(g, devs, 0.75)
+		for _, pol := range hetsched.AllPolicies {
+			res, err := hetsched.Simulate(hetsched.Config{
+				Graph:         g,
+				Devices:       devs,
+				Policy:        pol,
+				MeanArrivalMs: arrival,
+				Requests:      hetRequests,
+				JitterFrac:    hetJitter,
+				Seed:          x.Cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(mix, pol.String(), f3(arrival), f3(res.P50), f3(res.P95),
+				f3(res.MeanPhaseWaitMs), fmt.Sprint(res.Steals), pct(res.UtilTotal),
+				f1(res.CrossKindOverlapMs), f1(res.SameKindOverlapMs))
+		}
+	}
+	t.AddNote("every policy owns a regime: affinity on smt2 (MP-HT colocation — zero same-kind overlap), stealing on cpu4/hetero (work conservation), earliest-finish on biglittle (speed-aware pricing); offered load is sized per mix, so compare policies within a mix, not mixes against each other")
+	return t, nil
+}
+
+// runHet2 sweeps the GPU's max batch size against offered load at fixed
+// arrivals (sized from the fully-amortizing fleet, so every batch limit
+// faces identical load). The batching economics cross over: at low load
+// the hold window is pure added latency and small batches win; at high
+// load only amortization keeps the GPU ahead of its own launch overhead.
+func runHet2(x *Context) (*Table, error) {
+	t := &Table{
+		ID: "het2", Title: "GPU batching economics (cpu2gpu1, affinity)",
+		Headers: []string{"util", "max batch", "hold (µs)", "arrival (ms)", "p50 (ms)", "p95 (ms)", "wait (ms)", "batch items", "util"},
+	}
+	g, err := hetGraph(x)
+	if err != nil {
+		return nil, err
+	}
+	points := []struct {
+		maxBatch int
+		holdUs   float64
+	}{{1, 0}, {4, 40}, {16, 40}, {64, 40}, {64, 0}}
+	for _, util := range []float64{0.35, 0.85} {
+		ref, err := hetGPUFleet(64, 40)
+		if err != nil {
+			return nil, err
+		}
+		arrival := hetsched.ArrivalForUtilization(g, ref, util)
+		for _, pt := range points {
+			devs, err := hetGPUFleet(pt.maxBatch, pt.holdUs)
+			if err != nil {
+				return nil, err
+			}
+			res, err := hetsched.Simulate(hetsched.Config{
+				Graph:         g,
+				Devices:       devs,
+				Policy:        hetsched.Affinity,
+				MeanArrivalMs: arrival,
+				Requests:      hetRequests,
+				Seed:          x.Cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(pct(util), fmt.Sprint(pt.maxBatch), f1(pt.holdUs), f3(arrival), f3(res.P50), f3(res.P95),
+				f3(res.MeanPhaseWaitMs), f2(res.MeanBatchItems), pct(res.UtilTotal))
+		}
+	}
+	t.AddNote("arrivals are sized from the max-batch-64 fleet, so every row at one util faces identical load; batch-of-1 drowns in per-launch cost even at nominal 35%% load, amortization rescues it with diminishing returns past 16, the hold window is a pure latency tax at low load (hold 0 beats hold 40), and at high load queueing fills batches naturally")
+	return t, nil
+}
+
+// hetGPUFleet is the cpu2gpu1 mix with the GPU's batch limit and hold
+// window overridden.
+func hetGPUFleet(maxBatch int, holdUs float64) ([]hetsched.DeviceSpec, error) {
+	devs, err := hetsched.NewMix("cpu2gpu1")
+	if err != nil {
+		return nil, err
+	}
+	for i := range devs {
+		if devs[i].Class == hetsched.GPUClass {
+			devs[i].MaxBatch = maxBatch
+			devs[i].HoldUs = holdUs
+		}
+	}
+	return devs, nil
+}

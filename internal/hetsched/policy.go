@@ -1,0 +1,207 @@
+package hetsched
+
+import "fmt"
+
+// Policy selects how ready phases are placed onto devices.
+type Policy uint8
+
+const (
+	// Affinity is static phase-affinity routing: each kind is assigned a
+	// fixed subset of the fleet up front (specialists first — gathers to
+	// PIM, dense to GPU — then the CPUs are partitioned among the kinds
+	// left over, weighted by the graph's per-kind work), and phases
+	// round-robin inside their subset. No load information is consulted.
+	// On a two-thread SMT fleet this is exactly the paper's MP-HT
+	// colocation: gathers pinned to one thread, dense phases to the other.
+	Affinity Policy = iota
+	// EFT is earliest-finish-time dispatch: each ready phase is placed on
+	// the capable device whose estimated finish (current backlog + this
+	// phase's solo service estimate) is smallest, ties to the lowest
+	// device index. The estimate knows nothing about batching
+	// amortization (it charges the full fixed cost per item) or about the
+	// jitter a service draw will actually see — those blind spots are
+	// what the other policies exploit.
+	EFT
+	// Steal is affinity routing plus idle-device work stealing: a device
+	// that goes idle with an empty queue takes the oldest compatible
+	// phase from the most backlogged queue, and a phase headed for a busy
+	// device is diverted to an idle, empty, capable one. Placement
+	// mistakes are corrected after the fact, which no estimate-based
+	// policy can do once service times turn out different than assumed.
+	Steal
+
+	numPolicies = 3
+)
+
+// AllPolicies lists every policy in sweep order.
+var AllPolicies = []Policy{Affinity, EFT, Steal}
+
+func (p Policy) String() string {
+	switch p {
+	case Affinity:
+		return "affinity"
+	case EFT:
+		return "eft"
+	case Steal:
+		return "steal"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// ParsePolicy resolves a CLI policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "affinity":
+		return Affinity, nil
+	case "eft":
+		return EFT, nil
+	case "steal":
+		return Steal, nil
+	}
+	return 0, fmt.Errorf("hetsched: unknown policy %q (want affinity, eft, or steal)", s)
+}
+
+// affinityPlan is the static kind→devices assignment the Affinity and
+// Steal policies route with. Built once per Simulate from the fleet and
+// the graph's per-kind work.
+type affinityPlan struct {
+	// devs[k] lists the device indices kind k round-robins over.
+	devs [NumKinds][]int
+	// rr[k] is kind k's round-robin cursor.
+	rr [NumKinds]int
+}
+
+// buildAffinity computes the static assignment:
+//
+//  1. a kind with capable specialist devices (PIM for gathers, GPU for
+//     interactions and MLPs) is pinned to all of them;
+//  2. the kinds left on the CPUs partition the CPU devices among
+//     themselves, contiguous slices sized by their share of the graph's
+//     work (every kind gets at least one device);
+//  3. a kind with no devices after both steps falls back to every
+//     capable device.
+//
+// On the two-thread SMT fleet with the DLRM graph, step 2 pins gathers
+// to thread 0 and interact+MLP to thread 1 — the MP-HT split.
+func buildAffinity(specs []DeviceSpec, g Graph) *affinityPlan {
+	plan := &affinityPlan{}
+	specialist := [NumKinds]DeviceClass{Gather: PIMClass, Interact: GPUClass, MLP: GPUClass}
+	kindWork := g.KindWorkUs()
+	kindCount := g.KindCounts()
+
+	// Step 1: specialists.
+	onCPU := make([]PhaseKind, 0, NumKinds)
+	for k := PhaseKind(0); k < NumKinds; k++ {
+		if kindCount[k] == 0 {
+			continue // kind absent from the graph; leave its list empty
+		}
+		for d, spec := range specs {
+			if spec.Class == specialist[k] && spec.can(k) {
+				plan.devs[k] = append(plan.devs[k], d)
+			}
+		}
+		if len(plan.devs[k]) == 0 {
+			onCPU = append(onCPU, k)
+		}
+	}
+
+	// Step 2: partition the CPUs among the unassigned kinds by work share.
+	var cpus []int
+	for d, spec := range specs {
+		if spec.Class == CPUClass {
+			cpus = append(cpus, d)
+		}
+	}
+	// MP-HT special case: when the CPUs are exactly one SMT sibling pair,
+	// splitting a kind across the pair buys nothing — the same-kind
+	// contention factor (~2×) cancels the parallelism — so the memory-bound
+	// gathers are pinned to one thread and the compute-bound dense kinds to
+	// the other, whatever the work imbalance. This is exactly the paper's
+	// colocation scheme.
+	if len(cpus) == 2 && len(onCPU) > 1 &&
+		specs[cpus[0]].SMTSibling == cpus[1] && specs[cpus[1]].SMTSibling == cpus[0] {
+		hasMem, hasCompute := false, false
+		for _, k := range onCPU {
+			if k == Gather {
+				hasMem = true
+			} else {
+				hasCompute = true
+			}
+		}
+		if hasMem && hasCompute {
+			for _, k := range onCPU {
+				if k == Gather {
+					plan.devs[k] = append(plan.devs[k], cpus[0])
+				} else {
+					plan.devs[k] = append(plan.devs[k], cpus[1])
+				}
+			}
+			onCPU = nil // assignment done
+		}
+		// Only one side of the memory/compute divide present: fall
+		// through to the work-share partition below.
+	}
+
+	if len(cpus) > 0 && len(onCPU) > 0 {
+		// Weight by work share; a degenerate all-zero-work graph falls back
+		// to equal weights so the interval math below stays well-defined.
+		weight := kindWork
+		var totalWork float64
+		for _, k := range onCPU {
+			totalWork += weight[k]
+		}
+		if totalWork == 0 {
+			for _, k := range onCPU {
+				weight[k] = 1
+			}
+			totalWork = float64(len(onCPU))
+		}
+		// Each kind owns the slice of CPUs under its work-share interval
+		// along [0,1). onCPU is in kind order — Gather, Interact, MLP, the
+		// memory→compute spectrum — so memory-bound kinds land on the low
+		// device indices and compute-bound ones on the high indices, with
+		// light kinds sharing a device rather than starving. On the
+		// two-thread SMT fleet with the DLRM graph this pins gathers to
+		// thread 0 and interact+MLP to thread 1 — the MP-HT split.
+		n := len(cpus)
+		var cum float64
+		for _, k := range onCPU {
+			lo := int(cum / totalWork * float64(n))
+			cum += weight[k]
+			hi := int(cum/totalWork*float64(n) + 0.5) // round the boundary
+			if lo > n-1 {
+				lo = n - 1
+			}
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > n {
+				hi = n
+			}
+			for _, d := range cpus[lo:hi] {
+				plan.devs[k] = append(plan.devs[k], d)
+			}
+		}
+	}
+
+	// Step 3: fall back to every capable device.
+	for k := PhaseKind(0); k < NumKinds; k++ {
+		if kindCount[k] == 0 || len(plan.devs[k]) > 0 {
+			continue
+		}
+		for d, spec := range specs {
+			if spec.can(k) {
+				plan.devs[k] = append(plan.devs[k], d)
+			}
+		}
+	}
+	return plan
+}
+
+// pick returns kind k's next round-robin device.
+func (p *affinityPlan) pick(k PhaseKind) int {
+	devs := p.devs[k]
+	d := devs[p.rr[k]%len(devs)]
+	p.rr[k]++
+	return d
+}

@@ -114,6 +114,22 @@ func NewQueue(servers int) *Queue {
 	return &Queue{free: make([]float64, servers)}
 }
 
+// Jitter is the multiplicative lognormal service-time factor for one
+// standard-normal draw: exp(frac·draw). Every tier that models service
+// variance (serve, cluster, hetsched) uses this same convention so their
+// jitter knobs are comparable. Callers must skip the normal draw entirely
+// when frac is zero — drawing-and-discarding would shift the RNG stream
+// and change jitterless results.
+func Jitter(frac, draw float64) float64 {
+	return math.Exp(frac * draw)
+}
+
+// MeanJitter is the expected value of Jitter(frac, N(0,1)) — the
+// lognormal mean exp(frac²/2) — for capacity and utilization math.
+func MeanJitter(frac float64) float64 {
+	return math.Exp(frac * frac / 2)
+}
+
 // Submit enqueues one request arriving at the given time with the given
 // service duration and returns when it starts and completes. The request
 // starts on the earliest-free server, no earlier than its arrival.
@@ -190,7 +206,7 @@ func Simulate(cfg Config) (Result, error) {
 		now += rng.ExpFloat64() * cfg.MeanArrivalMs
 		service := cfg.ServiceMs
 		if cfg.JitterFrac > 0 {
-			service *= math.Exp(cfg.JitterFrac * rng.NormFloat64())
+			service *= Jitter(cfg.JitterFrac, rng.NormFloat64())
 		}
 		start, _ := queue.Submit(now, service)
 		if i < cfg.WarmupRequests {
@@ -212,7 +228,7 @@ func Simulate(cfg Config) (Result, error) {
 		P99:            stats.Percentile(latencies, 0.99),
 		Mean:           stats.Mean(latencies),
 		SLACompliant:   float64(slaOK) / float64(len(latencies)),
-		Utilization:    cfg.ServiceMs * math.Exp(cfg.JitterFrac*cfg.JitterFrac/2) / (cfg.MeanArrivalMs * float64(cfg.Cores)),
+		Utilization:    cfg.ServiceMs * MeanJitter(cfg.JitterFrac) / (cfg.MeanArrivalMs * float64(cfg.Cores)),
 		MaxQueueWaitMs: maxWait,
 	}
 	return res, nil
