@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// calibrationSink defeats dead-code elimination of the canary loop.
+var calibrationSink uint64
+
+// BenchmarkCalibration is the host-speed canary for the perf-trajectory
+// gate (`make bench-gate`). It is a fixed pure-integer workload — an
+// xorshift64 chain with a data-dependent accumulator — that touches no
+// simulator code, allocates nothing, and fits in registers, so its ns/op
+// moves only with the effective speed of the machine the suite ran on
+// (turbo state, contention, microcode), never with changes to this
+// repository. benchjson -calibrate divides that drift out of the other
+// benchmarks' ratios before applying the regression threshold.
+//
+// Do not "optimize" or otherwise change this loop: any edit invalidates
+// comparisons against every previously committed BENCH_<n>.json.
+func BenchmarkCalibration(b *testing.B) {
+	b.ReportAllocs()
+	acc := calibrationSink
+	for i := 0; i < b.N; i++ {
+		state := uint64(i) | 1
+		for j := 0; j < 1024; j++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			acc += state>>1 | acc>>63
+		}
+	}
+	calibrationSink = acc
+}

@@ -5,12 +5,36 @@
 //
 //	go test -bench ... -benchmem ./... | benchjson -out BENCH_1.json
 //	benchjson -compare BENCH_0.json BENCH_1.json
+//	benchjson -compare -gate 10 -calibrate BenchmarkCalibration BENCH_1.json BENCH_2.json
 //
 // The JSON records, per benchmark: iterations, ns/op, B/op, allocs/op, and
 // every custom metric the benchmark reported (parallel-x, p95-ms, …), so
 // one file captures both host-side speed and the artifact's headline
 // quantities. Compare mode prints old→new ns/op and allocs/op ratios —
 // a benchstat-shaped summary with no external dependency.
+//
+// Repeated rows for one benchmark (a `-count N` capture) fold to the
+// fastest run: shared hosts suffer episodic noisy-neighbor slowdowns
+// that inflate individual runs by 20–40%, and the minimum is the
+// standard estimator that rejects them (a run can be unlucky-slow, never
+// unlucky-fast). `make bench-json` captures with -count 3 for exactly
+// this reason.
+//
+// -gate N makes compare exit nonzero when any benchmark regresses more
+// than N% in ns/op or allocs/op — the perf-regression gate CI runs on the
+// committed trajectory. Because successive BENCH_<n> points are captured
+// in different sessions on hosts whose effective speed drifts (turbo,
+// contention, microcode), raw wall-clock gating false-fails; -calibrate
+// names a canary benchmark (first of a comma list present in both files)
+// whose ns/op ratio estimates the host-speed drift, and gated ns/op
+// ratios are normalized by it. The canary must be a fixed pure-CPU
+// workload no simulator change touches.
+//
+// When -gate and -calibrate are both set but no canary exists in BOTH
+// files, the ns/op gate is skipped (exit 0, table still printed): the
+// older point predates the calibration infrastructure, and uncalibrated
+// cross-host ratios false-fail on host drift alone. Allocs/op — which
+// doesn't drift with host speed — is still gated.
 package main
 
 import (
@@ -52,6 +76,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 func parse(r *bufio.Scanner) (*File, error) {
 	f := &File{Schema: schema}
 	pkg := ""
+	seen := map[string]int{}
 	for r.Scan() {
 		line := strings.TrimSpace(r.Text())
 		switch {
@@ -93,6 +118,14 @@ func parse(r *bufio.Scanner) (*File, error) {
 				b.Metrics[unit] = v
 			}
 		}
+		// Fold -count repeats: keep the fastest run (see package comment).
+		if i, ok := seen[key(b)]; ok {
+			if b.NsPerOp < f.Benchmarks[i].NsPerOp {
+				f.Benchmarks[i] = b
+			}
+			continue
+		}
+		seen[key(b)] = len(f.Benchmarks)
 		f.Benchmarks = append(f.Benchmarks, b)
 	}
 	if err := r.Err(); err != nil {
@@ -129,7 +162,33 @@ func load(path string) (*File, error) {
 
 func key(b Benchmark) string { return b.Pkg + "." + b.Name }
 
-func compare(oldPath, newPath string) error {
+// findCanary returns the host-speed scale factor new/old from the first
+// calibration benchmark (comma list, matched on bare Name) present in
+// both files, plus its name ("" and 1.0 when none matches).
+func findCanary(of, nf *File, calibrate string) (string, float64) {
+	byName := func(f *File, name string) (Benchmark, bool) {
+		for _, b := range f.Benchmarks {
+			if b.Name == name {
+				return b, true
+			}
+		}
+		return Benchmark{}, false
+	}
+	for _, name := range strings.Split(calibrate, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		ob, okOld := byName(of, name)
+		nb, okNew := byName(nf, name)
+		if okOld && okNew && ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			return name, nb.NsPerOp / ob.NsPerOp
+		}
+	}
+	return "", 1.0
+}
+
+func compare(oldPath, newPath string, gatePct float64, calibrate string) error {
 	of, err := load(oldPath)
 	if err != nil {
 		return err
@@ -137,6 +196,19 @@ func compare(oldPath, newPath string) error {
 	nf, err := load(newPath)
 	if err != nil {
 		return err
+	}
+	canary, scale := "", 1.0
+	gateNs := gatePct > 0
+	if calibrate != "" {
+		if canary, scale = findCanary(of, nf, calibrate); canary != "" {
+			fmt.Printf("calibrated by %s: host speed factor %.3f (new/old ns)\n", canary, scale)
+		} else {
+			fmt.Printf("calibration: no benchmark of %q in both files; ns/op shown raw\n", calibrate)
+			if gateNs {
+				gateNs = false
+				fmt.Printf("gate: ns/op gate skipped (pre-calibration trajectory point); allocs/op still gated\n")
+			}
+		}
 	}
 	olds := map[string]Benchmark{}
 	for _, b := range of.Benchmarks {
@@ -149,6 +221,7 @@ func compare(oldPath, newPath string) error {
 		names = append(names, key(b))
 	}
 	sort.Strings(names)
+	var failures []string
 	fmt.Printf("%-52s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "allocs o→n")
 	fmt.Printf("%s\n", strings.Repeat("-", 104))
 	for _, name := range names {
@@ -160,10 +233,32 @@ func compare(oldPath, newPath string) error {
 		}
 		speed := 0.0
 		if nb.NsPerOp > 0 {
-			speed = ob.NsPerOp / nb.NsPerOp
+			// scale cancels the host-speed drift the canary measured, so
+			// this is the code's speedup, not the machine's.
+			speed = ob.NsPerOp * scale / nb.NsPerOp
 		}
 		fmt.Printf("%-52s %14.0f %14.0f %7.2fx %6.0f→%.0f\n",
 			name, ob.NsPerOp, nb.NsPerOp, speed, ob.AllocsOp, nb.AllocsOp)
+		if gatePct <= 0 || nb.Name == canary {
+			continue
+		}
+		if gateNs && speed > 0 && speed < 1-gatePct/100 {
+			failures = append(failures, fmt.Sprintf("%s: %.2fx calibrated ns/op (threshold %.2fx)",
+				name, speed, 1-gatePct/100))
+		}
+		// Alloc counts don't drift with host speed; gate them raw, with a
+		// two-alloc floor so tiny counts aren't flagged on noise.
+		if nb.AllocsOp > ob.AllocsOp*(1+gatePct/100) && nb.AllocsOp-ob.AllocsOp > 2 {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f→%.0f (>%.0f%% growth)",
+				name, ob.AllocsOp, nb.AllocsOp, gatePct))
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Printf("REGRESSION %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(failures), gatePct)
 	}
 	return nil
 }
@@ -171,6 +266,8 @@ func compare(oldPath, newPath string) error {
 func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	cmp := flag.Bool("compare", false, "compare two BENCH_<n>.json files instead of parsing stdin")
+	gate := flag.Float64("gate", 0, "with -compare: exit nonzero on any >N%% ns/op or allocs/op regression")
+	calibrate := flag.String("calibrate", "", "with -compare: comma list of canary benchmark names for host-speed normalization")
 	flag.Parse()
 
 	if *cmp {
@@ -178,7 +275,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files")
 			os.Exit(2)
 		}
-		if err := compare(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := compare(flag.Arg(0), flag.Arg(1), *gate, *calibrate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

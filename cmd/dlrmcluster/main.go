@@ -37,6 +37,7 @@ type mainFlags struct {
 
 	// Open-loop live-traffic mode (-open).
 	open                              bool
+	streamStats                       bool
 	rate, duration, openWarmup, sla   float64
 	arrivals                          string
 	burstFactor, burstEvery, burstDur float64
@@ -56,7 +57,7 @@ type mainFlags struct {
 // meaningless without -open; validate uses it to reject misplaced knobs
 // in one pass instead of silently ignoring them.
 var openOnlyFlags = []string{
-	"rate", "duration", "open-warmup", "sla", "arrivals",
+	"rate", "duration", "open-warmup", "sla", "arrivals", "stream-stats",
 	"burst-factor", "burst-every", "burst-dur",
 	"day", "diurnal", "flash-every", "flash-dur", "flash-factor",
 	"users", "revisit", "affinity", "admit", "admit-budget",
@@ -184,12 +185,13 @@ func (o mainFlags) openLoop() (*cluster.OpenLoop, error) {
 		ar.FlashFactor = o.flashFactor
 	}
 	open := &cluster.OpenLoop{
-		Arrivals:   ar,
-		DurationMs: o.duration,
-		WarmupMs:   o.openWarmup,
-		SLAMs:      o.sla,
-		StartNodes: o.startNodes,
-		Admission:  cluster.Admission{Policy: pol, QueueBudgetMs: o.admitBudget},
+		Arrivals:    ar,
+		DurationMs:  o.duration,
+		WarmupMs:    o.openWarmup,
+		SLAMs:       o.sla,
+		StartNodes:  o.startNodes,
+		Admission:   cluster.Admission{Policy: pol, QueueBudgetMs: o.admitBudget},
+		StreamStats: o.streamStats,
 	}
 	if o.users > 0 {
 		open.Population = &traffic.Population{Users: o.users, RevisitProb: o.revisit, Affinity: o.affinity}
@@ -244,6 +246,7 @@ func main() {
 	flag.Float64Var(&o.netBW, "netbw", 10, "per-link network bandwidth (GB/s)")
 
 	flag.BoolVar(&o.open, "open", false, "open-loop live-traffic mode: arrivals come from a generated stream, not a closed query count")
+	flag.BoolVar(&o.streamStats, "stream-stats", false, "open-loop: fixed-memory streaming percentile sketches instead of exact nearest-rank (long runs; summaries differ within sketch error)")
 	flag.Float64Var(&o.rate, "rate", 0, "open-loop base arrival rate in queries/ms (0 = derive from -util)")
 	flag.Float64Var(&o.duration, "duration", 0, "open-loop horizon in ms (0 = 1000 mean arrival periods)")
 	flag.Float64Var(&o.openWarmup, "open-warmup", 0, "warmup ms excluded from open-loop metrics (0 = 5% of duration, -1 = none)")

@@ -28,7 +28,6 @@ package cluster
 // until it is warm.
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -206,6 +205,13 @@ type OpenLoop struct {
 	// the autoscaler brings them in; their work routes down the standby
 	// chain, so a deliberately zero-capacity owner is expressible.
 	StartNodes int
+	// StreamStats switches the summary to the incremental flat-memory
+	// join (streamstats.go): live state bounded by the in-flight
+	// high-water mark instead of O(queries), counters exact,
+	// percentiles within the stats.QuantileSketch error bound (~0.8%).
+	// Off by default — the batch join's exact nearest-rank percentiles
+	// are the golden baseline.
+	StreamStats bool
 }
 
 // validateErrs reports every violation without mutating o, accepting the
@@ -302,6 +308,9 @@ func (o *OpenLoop) applyDefaults(nodes int) error {
 // copyHeap orders scheduled sub-request copies by (arrive, sub, attempt) —
 // the exact total order the closed-loop sort establishes, maintained
 // incrementally because arrivals keep scheduling new copies mid-run.
+// Legacy backend only (see eventq.go): container/heap boxes every
+// Push/Pop through `any`, allocating per scheduled copy; the default
+// path now runs the non-boxing eventq wheel in the same total order.
 type copyHeap []subCopy
 
 func (h copyHeap) Len() int { return len(h) }
@@ -310,8 +319,8 @@ func (h copyHeap) Less(i, j int) bool {
 	if a.arrive != b.arrive {
 		return a.arrive < b.arrive
 	}
-	if a.sub != b.sub {
-		return a.sub < b.sub
+	if a.seq != b.seq {
+		return a.seq < b.seq
 	}
 	return a.attempt < b.attempt
 }
@@ -429,7 +438,22 @@ func simulateOpen(cfg Config) (Result, error) {
 		}
 	}
 
-	h := &copyHeap{}
+	// SLA-violation minutes bucketize on the configured day when the
+	// stream defines one, else on the run horizon.
+	minuteMs := o.DurationMs / 1440
+	if ar.DayMs > 0 {
+		minuteMs = ar.DayMs / 1440
+	}
+	violated := make(map[int]bool)
+
+	var sj *streamJoin
+	if o.StreamStats {
+		sj = newStreamJoin(o, minuteMs, violated)
+		sj.denseMs = cfg.Timing.DenseMs
+		st.recycle = true
+	}
+
+	h := newCopyQueue(eventBackend)
 	var queries []openQuery
 	firstSub := []int{0}
 	cold := make([]int, plan.Nodes)
@@ -450,8 +474,10 @@ func simulateOpen(cfg Config) (Result, error) {
 		if nextArr < o.DurationMs && nextArr < now {
 			now, kind = nextArr, 2
 		}
-		if h.Len() > 0 && (*h)[0].arrive < now {
-			now, kind = (*h)[0].arrive, 3
+		if h.Len() > 0 {
+			if min := h.Min(); min.arrive < now {
+				now, kind = min.arrive, 3
+			}
 		}
 		switch kind {
 		case 0:
@@ -545,6 +571,7 @@ func simulateOpen(cfg Config) (Result, error) {
 					eff[route(n)] += c
 				}
 			}
+			joinSlot := -1
 			admitted := true
 			if o.Admission.Policy == ShedOverBudget {
 				worst := 0.0
@@ -557,6 +584,9 @@ func simulateOpen(cfg Config) (Result, error) {
 					}
 				}
 				admitted = !o.Admission.shed(worst)
+			}
+			if sj != nil {
+				joinSlot = sj.arrival(now, admitted, visit > 1)
 			}
 			if admitted {
 				for n, c := range eff {
@@ -573,9 +603,13 @@ func simulateOpen(cfg Config) (Result, error) {
 					pooled := (served + model.LookupsPerSample - 1) / model.LookupsPerSample
 					respBytes := int64(pooled)*int64(model.EmbDim)*4 + wireHeaderBytes
 					before := len(st.copies)
-					st.schedule(q, n, served, svcUs/1e3, reqBytes, respBytes, now)
+					idx := st.schedule(q, n, served, svcUs/1e3, reqBytes, respBytes, now)
+					if sj != nil {
+						st.subs[idx].join = joinSlot
+						sj.subAttached(joinSlot)
+					}
 					for _, cp := range st.copies[before:] {
-						heap.Push(h, cp)
+						h.Push(cp)
 					}
 					st.copies = st.copies[:before]
 				}
@@ -587,95 +621,130 @@ func simulateOpen(cfg Config) (Result, error) {
 					}
 				}
 			}
-			queries = append(queries, openQuery{arrive: now, admitted: admitted, revisit: visit > 1})
-			firstSub = append(firstSub, len(st.subs))
+			if sj != nil {
+				sj.finalizeIfEmpty(joinSlot)
+			} else {
+				queries = append(queries, openQuery{arrive: now, admitted: admitted, revisit: visit > 1})
+				firstSub = append(firstSub, len(st.subs))
+			}
 			q++
 			nextArr = stream.Next()
 		case 3:
-			cp := heap.Pop(h).(subCopy)
+			cp := h.Pop()
 			st.serveCopy(&cp, route(cp.node))
+			if sj != nil {
+				sj.copyDone(st, cp.sub)
+			}
 		}
 	}
 done:
 	noteActive(o.DurationMs)
 
-	// Join phase: identical to the closed-loop phase 3, over admitted
-	// queries, plus the SLA/goodput/shed accounting.
-	minuteMs := o.DurationMs / 1440
-	if ar.DayMs > 0 {
-		minuteMs = ar.DayMs / 1440
-	}
-	violated := make(map[int]bool)
 	window := o.DurationMs - o.WarmupMs
-	var latencies []float64
+	var pct []float64
+	var mean float64
+	var nLat int
 	var fanoutSum, subCount, hedgeCount, retryCount, fullJoins int
 	var postArr, postShed, postRevisit, goodCount int
 	var completenessSum float64
-	for i, oq := range queries {
-		post := oq.arrive >= o.WarmupMs
-		if post {
-			postArr++
-			if oq.revisit {
-				postRevisit++
+	if sj != nil {
+		// Stream-stats: every query already folded at its last copy; the
+		// summary reads the accumulators and the sketch.
+		if check.Enabled {
+			check.Assert(len(sj.freeJoins) == len(sj.joins),
+				"cluster: %d stream joins still open after drain", len(sj.joins)-len(sj.freeJoins))
+		}
+		pct = []float64{sj.sketch.Quantile(0.50), sj.sketch.Quantile(0.95), sj.sketch.Quantile(0.99)}
+		mean = sj.sketch.Mean()
+		nLat = int(sj.sketch.Count())
+		fanoutSum, subCount = sj.fanoutSum, sj.subCount
+		hedgeCount, retryCount, fullJoins = sj.hedgeCount, sj.retryCount, sj.fullJoins
+		postArr, postShed, postRevisit, goodCount = sj.postArr, sj.postShed, sj.postRevisit, sj.goodCount
+		completenessSum = sj.completenessSum
+		if streamHighWater != nil {
+			streamHighWater(sj.maxLiveSubs, sj.maxLiveJoins)
+		}
+	} else {
+		// Batch join: identical to the closed-loop phase 3, over admitted
+		// queries, plus the SLA/goodput/shed accounting. The sample slice
+		// is sized from the admitted post-warmup count (the closed loop
+		// preallocates the same way), so the append loop never reallocates.
+		nSamples := 0
+		for _, oq := range queries {
+			if oq.admitted && oq.arrive >= o.WarmupMs {
+				nSamples++
 			}
 		}
-		if !oq.admitted {
+		latencies := make([]float64, 0, nSamples)
+		for i, oq := range queries {
+			post := oq.arrive >= o.WarmupMs
 			if post {
-				postShed++
+				postArr++
+				if oq.revisit {
+					postRevisit++
+				}
 			}
-			continue
-		}
-		joined := oq.arrive
-		queryLookups, servedLookups := 0, 0
-		hedges, retries := 0, 0
-		complete := true
-		for s := firstSub[i]; s < firstSub[i+1]; s++ {
-			sub := &st.subs[s]
-			doneAt, ok := st.resolve(sub)
-			if doneAt > joined {
-				joined = doneAt
+			if !oq.admitted {
+				if post {
+					postShed++
+				}
+				continue
 			}
-			queryLookups += sub.served
-			retries += sub.retries
-			if sub.hedged {
-				hedges++
+			joined := oq.arrive
+			queryLookups, servedLookups := 0, 0
+			hedges, retries := 0, 0
+			complete := true
+			for s := firstSub[i]; s < firstSub[i+1]; s++ {
+				sub := &st.subs[s]
+				doneAt, ok := st.resolve(sub)
+				if doneAt > joined {
+					joined = doneAt
+				}
+				queryLookups += sub.served
+				retries += sub.retries
+				if sub.hedged {
+					hedges++
+				}
+				if ok {
+					servedLookups += sub.served
+				} else {
+					complete = false
+				}
 			}
-			if ok {
-				servedLookups += sub.served
+			finish := joined + cfg.Timing.DenseMs
+			if !post {
+				continue
+			}
+			lat := finish - oq.arrive
+			latencies = append(latencies, lat)
+			if lat <= o.SLAMs {
+				goodCount++
 			} else {
-				complete = false
+				violated[int(oq.arrive/minuteMs)] = true
+			}
+			fanoutSum += firstSub[i+1] - firstSub[i]
+			subCount += firstSub[i+1] - firstSub[i]
+			hedgeCount += hedges
+			retryCount += retries
+			if complete {
+				fullJoins++
+			}
+			if queryLookups > 0 {
+				completenessSum += float64(servedLookups) / float64(queryLookups)
+			} else {
+				completenessSum++
 			}
 		}
-		finish := joined + cfg.Timing.DenseMs
-		if !post {
-			continue
-		}
-		lat := finish - oq.arrive
-		latencies = append(latencies, lat)
-		if lat <= o.SLAMs {
-			goodCount++
-		} else {
-			violated[int(oq.arrive/minuteMs)] = true
-		}
-		fanoutSum += firstSub[i+1] - firstSub[i]
-		subCount += firstSub[i+1] - firstSub[i]
-		hedgeCount += hedges
-		retryCount += retries
-		if complete {
-			fullJoins++
-		}
-		if queryLookups > 0 {
-			completenessSum += float64(servedLookups) / float64(queryLookups)
-		} else {
-			completenessSum++
-		}
+		pct = stats.Percentiles(latencies, 0.50, 0.95, 0.99)
+		mean = stats.Mean(latencies)
+		nLat = len(latencies)
 	}
 
 	res := Result{
-		P50:                 stats.Percentile(latencies, 0.50),
-		P95:                 stats.Percentile(latencies, 0.95),
-		P99:                 stats.Percentile(latencies, 0.99),
-		Mean:                stats.Mean(latencies),
+		P50:                 pct[0],
+		P95:                 pct[1],
+		P99:                 pct[2],
+		Mean:                mean,
 		MaxQueueWaitMs:      st.maxWait,
 		ReplicaBytesPerNode: plan.ReplicaBytesPerNode(),
 		MaxShardBytes:       plan.MaxShardBytes(),
@@ -689,7 +758,7 @@ done:
 	// An all-shed storm leaves no admitted queries: the ratio metrics are
 	// left zero instead of dividing by zero (Percentile/Mean already
 	// return 0 on empty slices).
-	if n := len(latencies); n > 0 {
+	if n := nLat; n > 0 {
 		res.MeanFanout = float64(fanoutSum) / float64(n)
 		res.Availability = float64(fullJoins) / float64(n)
 		res.Completeness = completenessSum / float64(n)

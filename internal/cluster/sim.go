@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"dlrmsim/internal/check"
+	"dlrmsim/internal/eventq"
 	"dlrmsim/internal/serve"
 	"dlrmsim/internal/stats"
 	"dlrmsim/internal/trace"
@@ -206,6 +207,11 @@ type subState struct {
 	best      float64 // earliest response at the router so far
 	retries   int     // timeout retries plus transport re-sends
 	hedged    bool
+	// Stream-stats bookkeeping (openloop.go): the owning join record's
+	// slot and the count of scheduled copies not yet processed. Unused
+	// (zero) in the default batch-join modes.
+	join       int
+	copiesLeft int32
 }
 
 // copyKind distinguishes how a sub-request copy got launched.
@@ -226,6 +232,7 @@ type subCopy struct {
 	arrive  float64 // at the node: launch + drop re-sends + request hop
 	launch  float64 // router-side launch deadline (condition reference)
 	sub     int     // index into simState.subs
+	seq     int     // monotone creation order of the sub — the tie key
 	node    int     // target node (owner, or a standby for hedge/retry)
 	attempt int     // jitter/drop stream id: 0 primary, 1 hedge, ≥2 retries
 	resends int     // transport re-sends folded into arrive
@@ -243,6 +250,17 @@ type simState struct {
 	warmupMs float64 // open-loop warmup horizon (0 in closed-loop mode)
 	maxWait  float64 // worst post-warmup queueing delay (satellite fix:
 	// warmup queries' waits are excluded, matching serve.Simulate)
+
+	// Stream-stats recycling (openloop.go). subSeq is the monotone
+	// creation counter copies carry as their tie key; with recycle set,
+	// finalized sub slots return to freeSubs and the live set stays at
+	// the in-flight high-water mark instead of growing with the run.
+	// Without recycling seq always equals the slot index, so the
+	// (arrive, seq, attempt) order is bit-for-bit the historical
+	// (arrive, sub, attempt) order.
+	recycle  bool
+	subSeq   int
+	freeSubs []int
 }
 
 // schedule plans every copy one sub-request may launch: the primary at
@@ -250,24 +268,38 @@ type simState struct {
 // dispatch+HedgeDelayMs, and timeout retries down the standby chain at
 // dispatch+k·TimeoutMs. Conditional copies are skipped at processing time
 // when a response beat their launch deadline.
-func (s *simState) schedule(q, owner int, served int, svcMs float64, reqBytes, respBytes int64, dispatch float64) {
-	idx := len(s.subs)
-	s.subs = append(s.subs, subState{
+// schedule returns the sub's slot in s.subs so the open-loop
+// stream-stats joiner can attach it to a join record.
+func (s *simState) schedule(q, owner int, served int, svcMs float64, reqBytes, respBytes int64, dispatch float64) int {
+	sub := subState{
 		q: q, owner: owner, dispatch: dispatch,
 		served: served, svcMs: svcMs, respBytes: respBytes,
 		best: math.Inf(1),
-	})
+	}
+	seq := s.subSeq
+	s.subSeq++
+	var idx int
+	if n := len(s.freeSubs); s.recycle && n > 0 {
+		idx = s.freeSubs[n-1]
+		s.freeSubs = s.freeSubs[:n-1]
+		s.subs[idx] = sub
+	} else {
+		idx = len(s.subs)
+		s.subs = append(s.subs, sub)
+	}
 	add := func(kind copyKind, node, attempt int, launch float64) {
 		shift, resends := s.faults.dropShift(q, node, attempt, s.plan.Nodes)
 		s.copies = append(s.copies, subCopy{
 			arrive:  launch + shift + s.cfg.Net.LatencyMs + s.cfg.Net.TransferMs(reqBytes),
 			launch:  launch,
 			sub:     idx,
+			seq:     seq,
 			node:    node,
 			attempt: attempt,
 			resends: resends,
 			kind:    kind,
 		})
+		s.subs[idx].copiesLeft++
 	}
 	add(copyPrimary, owner, 0, dispatch)
 	mit := &s.cfg.Mitigation
@@ -279,6 +311,7 @@ func (s *simState) schedule(q, owner int, served int, svcMs float64, reqBytes, r
 			add(copyRetry, (owner+k)%s.plan.Nodes, k+1, dispatch+float64(k)*mit.TimeoutMs)
 		}
 	}
+	return idx
 }
 
 // run processes every scheduled copy in node-arrival order. A conditional
@@ -288,20 +321,28 @@ func (s *simState) schedule(q, owner int, served int, svcMs float64, reqBytes, r
 // attempt 0 keeps the legacy jitter stream, so fault-free runs are
 // byte-identical to the pre-fault simulator.
 func (s *simState) run() {
-	// (arrive, sub, attempt) is a total order — no two copies share a
-	// (sub, attempt) pair — so the unstable slices sort is deterministic
+	// Every copy is known up front, so the native backend is a one-shot
+	// sort. (arrive, sub, attempt) is a total order — no two copies share
+	// a (sub, attempt) pair — so the unstable slices sort is deterministic
 	// and yields exactly the order the reflection-based stable-keyed
 	// sort.Slice produced, at a fraction of the cost: the copies are
 	// nearly sorted already (queries dispatch in arrival order) and
 	// pdqsort exploits that. See DESIGN.md §9 for the alternatives tried.
+	// The eventq backends reproduce the identical order incrementally
+	// (same comparator); the differential suite pins all three.
+	switch eventBackend {
+	case BackendHeap, BackendWheel:
+		s.runEventq()
+		return
+	}
 	slices.SortFunc(s.copies, func(a, b subCopy) int {
 		switch {
 		case a.arrive < b.arrive:
 			return -1
 		case a.arrive > b.arrive:
 			return 1
-		case a.sub != b.sub:
-			return a.sub - b.sub
+		case a.seq != b.seq:
+			return a.seq - b.seq
 		default:
 			return a.attempt - b.attempt
 		}
@@ -315,6 +356,44 @@ func (s *simState) run() {
 			prevArrive = c.arrive
 		}
 		s.serveCopy(c, c.node)
+	}
+}
+
+// runEventq is run()'s forced-backend variant: the copies drain through
+// an eventq priority queue instead of a pre-sort. Same comparator, same
+// total order, byte-identical results — it exists so the differential
+// suite can exercise the heap and wheel against the sort on the full
+// closed-loop registry.
+func (s *simState) runEventq() {
+	var q copyQueue
+	if eventBackend == BackendHeap {
+		h := eventq.NewHeap(copyLess)
+		h.Grow(len(s.copies))
+		q = h
+	} else {
+		// Size the wheel from the copies' time span so buckets stay small
+		// regardless of the run's horizon.
+		minArr, maxArr := math.Inf(1), math.Inf(-1)
+		for i := range s.copies {
+			if a := s.copies[i].arrive; a < minArr {
+				minArr = a
+			}
+			if a := s.copies[i].arrive; a > maxArr {
+				maxArr = a
+			}
+		}
+		width := (maxArr - minArr) / float64(len(s.copies)+1) * 4
+		if !(width > 0) || math.IsInf(width, 0) {
+			width = 1
+		}
+		q = eventq.NewWheel(width, 1024, minArr, copyArrive, copyLess)
+	}
+	for i := range s.copies {
+		q.Push(s.copies[i])
+	}
+	for q.Len() > 0 {
+		c := q.Pop()
+		s.serveCopy(&c, c.node)
 	}
 }
 
@@ -570,10 +649,11 @@ func Simulate(cfg Config) (Result, error) {
 		}
 	}
 
+	pct := stats.Percentiles(latencies, 0.50, 0.95, 0.99)
 	res := Result{
-		P50:                 stats.Percentile(latencies, 0.50),
-		P95:                 stats.Percentile(latencies, 0.95),
-		P99:                 stats.Percentile(latencies, 0.99),
+		P50:                 pct[0],
+		P95:                 pct[1],
+		P99:                 pct[2],
 		Mean:                stats.Mean(latencies),
 		MeanFanout:          float64(fanoutSum) / float64(len(latencies)),
 		MaxQueueWaitMs:      st.maxWait,

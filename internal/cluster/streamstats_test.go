@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"dlrmsim/internal/trace"
+	"dlrmsim/internal/traffic"
+)
+
+// streamTestOpen is the shared open-loop spec for stream-vs-batch
+// comparisons: shedding, a population, faults-free but hedged, at
+// moderate overload so violations and sheds actually occur.
+func streamTestOpen(t *testing.T, stream bool) Config {
+	t.Helper()
+	cfg := openTestConfig(t, 4, &OpenLoop{
+		Arrivals:    traffic.Config{Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.75)},
+		Population:  &traffic.Population{Users: 64, RevisitProb: 0.5, Affinity: 0.6},
+		DurationMs:  600,
+		SLAMs:       2,
+		Admission:   Admission{Policy: ShedOverBudget, QueueBudgetMs: 8},
+		StreamStats: stream,
+	})
+	cfg.Mitigation = Mitigation{TimeoutMs: 2, MaxRetries: 2, HedgeDelayMs: 1, DegradedJoin: true}
+	cfg.Faults = FaultModel{
+		SlowdownEveryMs: 40, SlowdownMeanMs: 6, SlowdownFactor: 4,
+		DownEveryMs: 120, DownMeanMs: 3,
+		DropProb: 0.01,
+	}
+	return cfg
+}
+
+// TestStreamStatsMatchesBatch pins the stream-stats accuracy contract:
+// every counter metric is EXACTLY the batch join's value; the
+// percentiles sit within the sketch's error bound; Mean differs only
+// by float summation order.
+func TestStreamStatsMatchesBatch(t *testing.T) {
+	batch, err := Simulate(streamTestOpen(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := Simulate(streamTestOpen(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact: everything except the three percentiles and the mean.
+	exact := []struct {
+		name string
+		b, s float64
+	}{
+		{"MaxQueueWaitMs", batch.MaxQueueWaitMs, stream.MaxQueueWaitMs},
+		{"MeanFanout", batch.MeanFanout, stream.MeanFanout},
+		{"Availability", batch.Availability, stream.Availability},
+		{"Completeness", batch.Completeness, stream.Completeness},
+		{"RetriesPerQuery", batch.RetriesPerQuery, stream.RetriesPerQuery},
+		{"HedgeRate", batch.HedgeRate, stream.HedgeRate},
+		{"OfferedQPS", batch.OfferedQPS, stream.OfferedQPS},
+		{"Goodput", batch.Goodput, stream.Goodput},
+		{"ShedRate", batch.ShedRate, stream.ShedRate},
+		{"RevisitRate", batch.RevisitRate, stream.RevisitRate},
+		{"SLAViolationMinutes", batch.SLAViolationMinutes, stream.SLAViolationMinutes},
+		{"MeanActiveNodes", batch.MeanActiveNodes, stream.MeanActiveNodes},
+		{"Utilization", batch.Utilization, stream.Utilization},
+		{"Imbalance", batch.Imbalance, stream.Imbalance},
+		{"LocalFraction", batch.LocalFraction, stream.LocalFraction},
+	}
+	for _, e := range exact {
+		if e.b != e.s {
+			t.Errorf("%s: batch %v, stream %v (must be exact)", e.name, e.b, e.s)
+		}
+	}
+	if batch.Goodput == 0 || batch.ShedRate == 0 || batch.SLAViolationMinutes == 0 {
+		t.Fatalf("fixture too tame to exercise the contract: %+v", batch)
+	}
+
+	// Bounded: percentiles within twice the sketch's half-bucket bound.
+	relTol := 2.0 / 128
+	for _, p := range []struct {
+		name string
+		b, s float64
+	}{{"P50", batch.P50, stream.P50}, {"P95", batch.P95, stream.P95}, {"P99", batch.P99, stream.P99}} {
+		if rel := math.Abs(p.s-p.b) / p.b; rel > relTol {
+			t.Errorf("%s: batch %g, stream %g (rel err %.4f > %.4f)", p.name, p.b, p.s, rel, relTol)
+		}
+	}
+	if rel := math.Abs(stream.Mean-batch.Mean) / batch.Mean; rel > 1e-9 {
+		t.Errorf("Mean: batch %g, stream %g (beyond FP reassociation)", batch.Mean, stream.Mean)
+	}
+}
+
+// TestStreamStatsFlatMemory pins the O(1)-sample guarantee: quadrupling
+// the run length must not grow the live-record high-water mark, which
+// tracks in-flight work, not run length.
+func TestStreamStatsFlatMemory(t *testing.T) {
+	run := func(durationMs float64) (liveSubs, liveJoins, arrivals int) {
+		defer func() { streamHighWater = nil }()
+		streamHighWater = func(s, j int) { liveSubs, liveJoins = s, j }
+		cfg := openTestConfig(t, 4, &OpenLoop{
+			Arrivals:    traffic.Config{Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.6)},
+			DurationMs:  durationMs,
+			SLAMs:       5,
+			StreamStats: true,
+		})
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals = int(res.OfferedQPS * (durationMs - durationMs/20) / 1e3)
+		return
+	}
+	s1, j1, n1 := run(500)
+	s4, j4, n4 := run(2000)
+	if n4 < 3*n1 {
+		t.Fatalf("fixture broken: 4x duration saw %d vs %d arrivals", n4, n1)
+	}
+	if s1 == 0 || j1 == 0 {
+		t.Fatal("high-water hook never fired")
+	}
+	// The in-flight population is set by load, not horizon: allow noise
+	// but reject anything resembling linear growth.
+	if float64(s4) > 2*float64(s1) || float64(j4) > 2*float64(j1) {
+		t.Fatalf("live records grew with run length: subs %d -> %d, joins %d -> %d (arrivals %d -> %d)",
+			s1, s4, j1, j4, n1, n4)
+	}
+	if s4 > n4/4 || j4 > n4/4 {
+		t.Fatalf("high-water %d subs / %d joins not small against %d arrivals", s4, j4, n4)
+	}
+}
+
+// TestStreamStatsDeterministic: the stream-stats run is still a pure
+// function of the config.
+func TestStreamStatsDeterministic(t *testing.T) {
+	a, err := Simulate(streamTestOpen(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(streamTestOpen(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("stream-stats run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestOpenClosedLoopAgreement is the preallocation satellite's
+// regression: the open loop driven by a constant-rate Poisson stream
+// and the closed loop at the same mean arrival interval describe the
+// same system, so their steady-state summaries must agree. The arrival
+// processes are distinct random streams, so agreement is statistical —
+// but at matched load, deviations beyond tens of percent mean one loop
+// is charging different work.
+func TestOpenClosedLoopAgreement(t *testing.T) {
+	util := 0.5
+	closed := testConfig(t, 4, RowRange, 0.01, trace.HighHot)
+	closed.MeanArrivalMs = ArrivalForUtilization(closed.Plan, closed.Timing, 8, 2, util)
+	closed.Queries = 4000
+	cRes, err := Simulate(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	open := openTestConfig(t, 4, &OpenLoop{
+		Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: 1 / closed.MeanArrivalMs},
+		DurationMs: float64(closed.Queries) * closed.MeanArrivalMs,
+		SLAMs:      50,
+	})
+	oRes, err := Simulate(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	within := func(name string, a, b, tol float64) {
+		t.Helper()
+		if rel := math.Abs(a-b) / b; rel > tol {
+			t.Errorf("%s: open %g vs closed %g (rel %.3f > %.2f)", name, a, b, rel, tol)
+		}
+	}
+	within("Mean", oRes.Mean, cRes.Mean, 0.20)
+	within("P50", oRes.P50, cRes.P50, 0.20)
+	within("P95", oRes.P95, cRes.P95, 0.25)
+	within("MeanFanout", oRes.MeanFanout, cRes.MeanFanout, 0.05)
+	within("Utilization", oRes.Utilization, cRes.Utilization, 0.20)
+	if oRes.ShedRate != 0 || oRes.Goodput == 0 {
+		t.Fatalf("open-loop baseline should admit and serve everything: %+v", oRes)
+	}
+}

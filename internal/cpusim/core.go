@@ -61,8 +61,20 @@ type thread struct {
 	now    float64
 	start  float64
 	seq    int64
-	loads  []inflightLoad // this thread's in-flight loads, FIFO by seq
-	done   bool
+	// loads is this thread's in-flight-load FIFO (ascending seq).
+	// loadHead indexes the logical front, like fillPool: retiring is an
+	// index bump, not a memmove of the whole window.
+	loads    []inflightLoad
+	loadHead int
+	done     bool
+
+	// In-progress load/prefetch burst (Op.Lines > 1): the next line and
+	// how many remain. A burst suspends whenever the per-op scheduler
+	// would have run someone else and resumes on the next Step.
+	gatherAddr memsim.Addr
+	gatherLeft int32
+	gatherHint memsim.AccessKind
+	gatherPf   bool
 
 	// span describes the time interval consumed by the last op, used by
 	// the sibling to decide whether issue slots are contended.
@@ -134,6 +146,12 @@ type Core struct {
 	// the Stream interface call cannot force a fresh heap allocation on
 	// every op (the escape analyzer cannot see through the interface).
 	op Op
+
+	// burstLimit is the cross-core interleaving horizon runStates sets
+	// before bursting this core: a multi-line op suspends once the
+	// thread clock passes it, exactly where the per-op driver would
+	// have handed control back. +Inf outside runStates.
+	burstLimit float64
 }
 
 // fillPool is an ascending queue of fill completion times. head indexes
@@ -196,7 +214,7 @@ func NewCore(params CoreParams, hier *memsim.Hierarchy) *Core {
 	if err := params.Validate(); err != nil {
 		panic(err)
 	}
-	return &Core{params: params, hier: hier}
+	return &Core{params: params, hier: hier, burstLimit: math.Inf(1)}
 }
 
 // Hierarchy returns the core's private memory hierarchy.
@@ -210,6 +228,7 @@ func (c *Core) Params() CoreParams { return c.params }
 // convenience wrapper for single-core experiments; multi-core runs are
 // driven by System, which interleaves cores itself.
 func (c *Core) Run(streams ...Stream) CoreResult {
+	c.burstLimit = math.Inf(1) // standalone run: no cross-core horizon
 	c.Begin(streams...)
 	for {
 		t := c.nextThread()
@@ -240,6 +259,9 @@ func (c *Core) BeginAt(start float64, streams ...Stream) {
 		*t = thread{stream: s, now: start, start: start, spanEnd: start, spanIssue: true, loads: loads}
 		c.threads = append(c.threads, t)
 	}
+	// burstLimit is deliberately left alone: BeginAt runs inside a
+	// runStates burst when phases chain, and the horizon must survive
+	// the phase boundary.
 	c.demand.reset()
 	c.prefetch.reset()
 }
@@ -356,17 +378,38 @@ func (c *Core) contention(t *thread) float64 {
 //   - OpStore updates cache state and never stalls (write buffering).
 func (c *Core) Step(t *thread) {
 	prevNow := t.now
+	if t.gatherLeft > 0 {
+		// Resume a suspended burst without touching the stream.
+		c.stepGather(t)
+		c.finishStep(t, prevNow)
+		return
+	}
 	op := &c.op
 	if !t.stream.Next(op) {
 		// Drain: completion waits for the thread's outstanding loads.
-		if n := len(t.loads); n > 0 {
-			if last := t.loads[n-1].completeAt; last > t.now {
+		if t.loadSize() > 0 {
+			if last := t.loads[len(t.loads)-1].completeAt; last > t.now {
 				t.stallCyc += last - t.now
 				t.now = last
 			}
 			t.loads = t.loads[:0]
+			t.loadHead = 0
 		}
 		t.done = true
+		return
+	}
+	if op.Lines > 1 && (op.Kind == OpLoad || op.Kind == OpPrefetch) {
+		t.gatherAddr = op.Addr
+		t.gatherLeft = op.Lines
+		t.gatherPf = op.Kind == OpPrefetch
+		if t.gatherPf {
+			t.gatherHint = op.Hint
+			if !t.gatherHint.IsPrefetch() {
+				t.gatherHint = memsim.KindPrefetchL1
+			}
+		}
+		c.stepGather(t)
+		c.finishStep(t, prevNow)
 		return
 	}
 	t.seq++
@@ -391,58 +434,109 @@ func (c *Core) Step(t *thread) {
 		c.hier.Access(int64(t.now), op.Addr, memsim.KindStore)
 
 	case OpLoad:
-		res := c.hier.Access(int64(t.now), op.Addr, memsim.KindLoad)
-		if res.Latency > c.params.PipelinedLatency {
-			completeAt := t.now + float64(res.Latency)
-			c.demand.drainBefore(t.now)
-			c.prefetch.drainBefore(t.now)
-			if c.demand.size() >= c.params.DemandMLP {
-				c.stallUntil(t, c.demand.front())
-				c.demand.popFront()
-			}
-			if c.demand.size()+c.prefetch.size() >= c.params.FillBuffers {
-				c.stallUntil(t, c.earliestFill())
-				c.popEarliestFill()
-			}
-			c.demand.insert(completeAt)
-			t.loads = append(t.loads, inflightLoad{completeAt: completeAt, seq: t.seq})
-		}
-		// Window occupancy: retire completed loads, then stall if the
-		// oldest incomplete one is too far behind.
-		t.trimLoads()
-		if len(t.loads) > 0 && t.seq-t.loads[0].seq >= int64(window) {
-			c.stallUntil(t, t.loads[0].completeAt)
-			n := copy(t.loads, t.loads[1:])
-			t.loads = t.loads[:n]
-		}
+		c.execLoad(t, op.Addr, window)
 
 	case OpPrefetch:
 		hint := op.Hint
 		if !hint.IsPrefetch() {
 			hint = memsim.KindPrefetchL1
 		}
-		res := c.hier.Access(int64(t.now), op.Addr, hint)
-		if res.Latency > c.params.PipelinedLatency {
-			c.demand.drainBefore(t.now)
-			c.prefetch.drainBefore(t.now)
-			if c.demand.size()+c.prefetch.size() >= c.params.FillBuffers {
-				c.stallUntil(t, c.earliestFill())
-				c.popEarliestFill()
-			}
-			c.prefetch.insert(t.now + float64(res.Latency))
-		}
+		c.execPrefetch(t, op.Addr, hint)
 
 	default:
 		panic(fmt.Sprintf("cpusim: unknown op kind %d", op.Kind))
 	}
+	c.finishStep(t, prevNow)
+}
+
+// finishStep closes one Step: span bookkeeping plus the monotonic-clock
+// assertion. Per-thread event times are monotonic: every Step rule only
+// ever advances the clock, and the aggregation above (phase chaining,
+// fixed-point iteration) depends on it. The Enabled guard keeps the
+// variadic boxing off the disabled hot path (zero-alloc guards).
+func (c *Core) finishStep(t *thread, prevNow float64) {
 	t.spanEnd = t.now
-	// Per-thread event times are monotonic: every Step rule only ever
-	// advances the clock, and the aggregation above (phase chaining,
-	// fixed-point iteration) depends on it. The Enabled guard keeps the
-	// variadic boxing off the disabled hot path (zero-alloc guards).
 	if check.Enabled {
 		check.Assert(t.now >= prevNow && !math.IsNaN(t.now),
 			"cpusim: thread clock moved backwards (%g -> %g)", prevNow, t.now)
+	}
+}
+
+// execLoad runs one demand-load line: hierarchy access, fill-buffer and
+// MLP admission, then window occupancy — retire completed loads and
+// stall if the oldest incomplete one is too far behind.
+func (c *Core) execLoad(t *thread, addr memsim.Addr, window int) {
+	res := c.hier.Access(int64(t.now), addr, memsim.KindLoad)
+	if res.Latency > c.params.PipelinedLatency {
+		completeAt := t.now + float64(res.Latency)
+		c.demand.drainBefore(t.now)
+		c.prefetch.drainBefore(t.now)
+		if c.demand.size() >= c.params.DemandMLP {
+			c.stallUntil(t, c.demand.front())
+			c.demand.popFront()
+		}
+		if c.demand.size()+c.prefetch.size() >= c.params.FillBuffers {
+			c.stallUntil(t, c.earliestFill())
+			c.popEarliestFill()
+		}
+		c.demand.insert(completeAt)
+		t.pushLoad(inflightLoad{completeAt: completeAt, seq: t.seq})
+	}
+	t.trimLoads()
+	if t.loadSize() > 0 && t.seq-t.loads[t.loadHead].seq >= int64(window) {
+		c.stallUntil(t, t.loads[t.loadHead].completeAt)
+		t.popLoad()
+	}
+}
+
+// execPrefetch runs one software-prefetch line: it occupies the
+// prefetch pool (backpressure when the fill buffers are full) but never
+// the instruction window.
+func (c *Core) execPrefetch(t *thread, addr memsim.Addr, hint memsim.AccessKind) {
+	res := c.hier.Access(int64(t.now), addr, hint)
+	if res.Latency > c.params.PipelinedLatency {
+		c.demand.drainBefore(t.now)
+		c.prefetch.drainBefore(t.now)
+		if c.demand.size()+c.prefetch.size() >= c.params.FillBuffers {
+			c.stallUntil(t, c.earliestFill())
+			c.popEarliestFill()
+		}
+		c.prefetch.insert(t.now + float64(res.Latency))
+	}
+}
+
+// stepGather advances a multi-line burst (Op.Lines > 1), line by line.
+// Each line repeats the single-op rules bit for bit — issue cycles,
+// contention factor, window and fill-buffer stalls — so timing is
+// identical to per-line emission; the burst only skips the per-line
+// trip through Stream.Next and the scheduler. Between lines it suspends
+// exactly where the per-op drivers would have run someone else: when
+// nextThread picks the SMT sibling, or when the clock passes the
+// cross-core burstLimit. The remaining lines resume on the next Step.
+func (c *Core) stepGather(t *thread) {
+	for {
+		t.seq++
+		t.issued++
+		factor := c.contention(t)
+		width := c.params.IssueWidth / factor
+		t.spanIssue = true
+		issueCyc := 1 / width
+		t.now += issueCyc
+		t.activeCyc += issueCyc
+		if t.gatherPf {
+			c.execPrefetch(t, t.gatherAddr, t.gatherHint)
+		} else {
+			window := int(float64(c.params.WindowSize) / factor)
+			c.execLoad(t, t.gatherAddr, window)
+		}
+		t.gatherAddr += memsim.LineSize
+		t.gatherLeft--
+		if t.gatherLeft == 0 {
+			return
+		}
+		if t.now > c.burstLimit || c.nextThread() != t {
+			return
+		}
 	}
 }
 
@@ -485,14 +579,42 @@ func (c *Core) stallUntil(t *thread, wake float64) {
 	}
 }
 
-func (t *thread) trimLoads() {
-	i := 0
-	for i < len(t.loads) && t.loads[i].completeAt <= t.now {
-		i++
+func (t *thread) loadSize() int { return len(t.loads) - t.loadHead }
+
+// pushLoad appends to the in-flight FIFO, compacting the consumed head
+// space first when the backing array is full (same policy as
+// fillPool.insert: the memmove happens once per wrap, not per retire).
+func (t *thread) pushLoad(l inflightLoad) {
+	if t.loadHead > 0 && len(t.loads) == cap(t.loads) {
+		n := copy(t.loads, t.loads[t.loadHead:])
+		t.loads = t.loads[:n]
+		t.loadHead = 0
 	}
-	if i == 0 {
+	t.loads = append(t.loads, l)
+}
+
+// popLoad drops the FIFO's front (an index bump, not a memmove).
+func (t *thread) popLoad() {
+	t.loadHead++
+	if t.loadHead == len(t.loads) {
+		t.loads = t.loads[:0]
+		t.loadHead = 0
+	}
+}
+
+// trimLoads retires loads completed by now (the FIFO ascends in
+// completeAt order only approximately — it ascends in seq; completion
+// times are whatever the hierarchy returned — so it stops at the first
+// still-outstanding entry, exactly like the copy-based version).
+func (t *thread) trimLoads() {
+	h := t.loadHead
+	for h < len(t.loads) && t.loads[h].completeAt <= t.now {
+		h++
+	}
+	if h == len(t.loads) {
+		t.loads = t.loads[:0]
+		t.loadHead = 0
 		return
 	}
-	n := copy(t.loads, t.loads[i:])
-	t.loads = t.loads[:n]
+	t.loadHead = h
 }

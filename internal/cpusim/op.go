@@ -46,6 +46,16 @@ type Op struct {
 	// Hint selects the target level for OpPrefetch
 	// (KindPrefetchL1/L2/L3).
 	Hint memsim.AccessKind
+	// Lines turns an OpLoad or OpPrefetch into a burst over that many
+	// consecutive cache lines starting at Addr — the shape of an
+	// embedding-row gather. 0 and 1 both mean a single line. Timing is
+	// bit-identical to emitting the lines as individual ops (each line
+	// pays issue, window, and fill-buffer costs, and the core still
+	// yields to its SMT sibling and the cross-core interleaver between
+	// lines); the burst only removes the per-line trip through the
+	// Stream interface. Note streams emit fewer (wider) ops, so
+	// CountOps counts a burst once.
+	Lines int32
 }
 
 // Stream supplies ops one at a time. Next fills *op and reports whether an
@@ -114,6 +124,23 @@ func CountOps(s Stream) map[OpKind]int64 {
 	var op Op
 	for s.Next(&op) {
 		counts[op.Kind]++
+	}
+	return counts
+}
+
+// CountLines drains a stream and returns per-kind counts with burst ops
+// weighted by the lines they cover (Lines > 1 counts Lines times). This
+// is the instruction count the core actually executes, matching what
+// per-line emission of the same work would produce.
+func CountLines(s Stream) map[OpKind]int64 {
+	counts := make(map[OpKind]int64)
+	var op Op
+	for s.Next(&op) {
+		n := int64(1)
+		if op.Lines > 1 {
+			n = int64(op.Lines)
+		}
+		counts[op.Kind] += n
 	}
 	return counts
 }

@@ -342,6 +342,10 @@ func runStates(states []*coreState) {
 		if best == nil {
 			break
 		}
+		// Multi-line bursts inside Step suspend at the same horizon the
+		// per-op check below enforces, so a gather cannot overrun the
+		// runner-up core by more than one line.
+		best.core.burstLimit = nextT
 		for {
 			best.core.StepEarliest()
 			for !best.done && best.core.Done() {

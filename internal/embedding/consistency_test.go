@@ -52,8 +52,18 @@ func TestStreamCoversExactlyTheRowsBagReads(t *testing.T) {
 		tblStart := tbl.RowAddr(0)
 		tblEnd := tblStart + memsim.Addr(tbl.FootprintBytes())
 		for stream.Next(&op) {
-			if op.Kind == cpusim.OpLoad && op.Addr >= tblStart && op.Addr < tblEnd {
-				gotLines[op.Addr] = true
+			if op.Kind != cpusim.OpLoad {
+				continue
+			}
+			lines := int(op.Lines) // row gathers are burst ops
+			if lines < 1 {
+				lines = 1
+			}
+			for cb := 0; cb < lines; cb++ {
+				a := op.Addr + memsim.Addr(cb*memsim.LineSize)
+				if a >= tblStart && a < tblEnd {
+					gotLines[a] = true
+				}
 			}
 		}
 		// Every line of every wanted row must be loaded; nothing else.
@@ -104,9 +114,16 @@ func TestPrefetchTargetsAreSubsetOfDemandRows(t *testing.T) {
 		if op.Kind != cpusim.OpPrefetch {
 			continue
 		}
-		prefetches++
-		if !rowLines[op.Addr] {
-			t.Fatalf("prefetch of %#x targets a line no demand load gathers", op.Addr)
+		lines := int(op.Lines) // prefetch bursts cover pf_blocks lines
+		if lines < 1 {
+			lines = 1
+		}
+		for cb := 0; cb < lines; cb++ {
+			prefetches++
+			a := op.Addr + memsim.Addr(cb*memsim.LineSize)
+			if !rowLines[a] {
+				t.Fatalf("prefetch of %#x targets a line no demand load gathers", a)
+			}
 		}
 	}
 	if prefetches == 0 {

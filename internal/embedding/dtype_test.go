@@ -89,7 +89,11 @@ func TestQuantizedStreamTouchesFewerLines(t *testing.T) {
 		start := tbl.RowAddr(0)
 		for s.Next(&op) {
 			if op.Kind == cpusim.OpLoad && op.Addr >= start {
-				n++
+				if op.Lines > 1 {
+					n += int64(op.Lines) // row gathers are burst ops
+				} else {
+					n++
+				}
 			}
 		}
 		return n
@@ -112,7 +116,7 @@ func TestQuantizedPrefetchBlocksClamped(t *testing.T) {
 		FlopsPerCycle: 32, BufBase: 1 << 33,
 		Prefetch: PrefetchConfig{Dist: 1, Blocks: 8},
 	})
-	counts := cpusim.CountOps(s)
+	counts := cpusim.CountLines(s)
 	// Lookups 0-2 have in-range targets: 3 × 3 lines.
 	if counts[cpusim.OpPrefetch] != 9 {
 		t.Fatalf("prefetches = %d, want 9", counts[cpusim.OpPrefetch])

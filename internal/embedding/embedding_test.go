@@ -118,10 +118,10 @@ func streamCfg(pf PrefetchConfig) StreamConfig {
 func TestTableStreamOpCountsNoPrefetch(t *testing.T) {
 	tb := testTable()
 	s := NewTableStream(tb, smallBatch(), 0, streamCfg(PrefetchConfig{}))
-	counts := cpusim.CountOps(s)
-	// Per lookup: 8 row-line loads + 8 accumulator loads (Algorithm 1's
-	// vec.ld accm); plus 1 index-array load per sample (3 lookups < 16)
-	// and 1 offsets load per sample.
+	counts := cpusim.CountLines(s)
+	// Per lookup: 8 row-line loads (one burst op) + 8 accumulator loads
+	// (Algorithm 1's vec.ld accm); plus 1 index-array load per sample
+	// (3 lookups < 16) and 1 offsets load per sample.
 	wantLoads := int64(6*(8+8) + 2 + 2)
 	if counts[cpusim.OpLoad] != wantLoads {
 		t.Fatalf("loads = %d, want %d", counts[cpusim.OpLoad], wantLoads)
@@ -138,7 +138,7 @@ func TestTableStreamOpCountsNoPrefetch(t *testing.T) {
 func TestTableStreamPrefetchCount(t *testing.T) {
 	tb := testTable()
 	s := NewTableStream(tb, smallBatch(), 0, streamCfg(PrefetchConfig{Dist: 2, Blocks: 8}))
-	counts := cpusim.CountOps(s)
+	counts := cpusim.CountLines(s)
 	// Look-ahead runs array-wide: lookups 0..3 have an in-range target
 	// (l+2 < 6), lookups 4 and 5 do not. 4 lookups × 8 blocks.
 	if counts[cpusim.OpPrefetch] != 32 {
@@ -149,7 +149,7 @@ func TestTableStreamPrefetchCount(t *testing.T) {
 func TestTableStreamPrefetchBlocksKnob(t *testing.T) {
 	tb := testTable()
 	s := NewTableStream(tb, smallBatch(), 0, streamCfg(PrefetchConfig{Dist: 2, Blocks: 2}))
-	counts := cpusim.CountOps(s)
+	counts := cpusim.CountLines(s)
 	if counts[cpusim.OpPrefetch] != 8 { // 4 in-range lookups × 2 blocks
 		t.Fatalf("prefetches = %d, want 8", counts[cpusim.OpPrefetch])
 	}

@@ -172,13 +172,15 @@ func (s *bagStream) refill() bool {
 			} else {
 				rowAddr = s.t.RowAddr(s.tb.Indices[ahead])
 			}
-			for cb := 0; cb < s.pfBlocks; cb++ {
-				s.queue = append(s.queue, cpusim.Op{
-					Kind: cpusim.OpPrefetch,
-					Addr: rowAddr + memsim.Addr(cb*memsim.LineSize),
-					Hint: hint,
-				})
-			}
+			// One burst op per row: timing-identical to per-line
+			// emission (cpusim expands it line by line) but the stream
+			// hands the core pf_blocks lines in one Next call.
+			s.queue = append(s.queue, cpusim.Op{
+				Kind:  cpusim.OpPrefetch,
+				Addr:  rowAddr,
+				Hint:  hint,
+				Lines: int32(s.pfBlocks),
+			})
 		}
 	}
 	// Demand gather, per Algorithm 1's inner loop: load the row's
@@ -190,9 +192,7 @@ func (s *bagStream) refill() bool {
 	outBytes := s.t.Dim() * 4
 	outLines := (outBytes + memsim.LineSize - 1) / memsim.LineSize
 	accAddr := s.outBase + memsim.Addr(s.sample*outBytes)
-	for cb := 0; cb < s.t.RowLines(); cb++ {
-		s.queue = append(s.queue, cpusim.Op{Kind: cpusim.OpLoad, Addr: rowAddr + memsim.Addr(cb*memsim.LineSize)})
-	}
+	s.queue = append(s.queue, cpusim.Op{Kind: cpusim.OpLoad, Addr: rowAddr, Lines: int32(s.t.RowLines())})
 	accCost := s.addCost * float64(s.t.RowLines()) / float64(outLines)
 	for ob := 0; ob < outLines; ob++ {
 		off := memsim.Addr(ob * memsim.LineSize)

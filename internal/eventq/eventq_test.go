@@ -1,0 +1,222 @@
+package eventq
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// ev mirrors the simulators' event shape: a fire time plus tie-break
+// fields giving a unique total order.
+type ev struct {
+	t   float64
+	sub int
+	gen int
+}
+
+func evTime(e ev) float64 { return e.t }
+
+func evLess(a, b ev) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.sub != b.sub {
+		return a.sub < b.sub
+	}
+	return a.gen < b.gen
+}
+
+func evCmp(a, b ev) int {
+	switch {
+	case evLess(a, b):
+		return -1
+	case evLess(b, a):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// randomEvents builds n events with clustered times (duplicates
+// included) so tie-breaking is exercised.
+func randomEvents(rng *rand.Rand, n int) []ev {
+	out := make([]ev, n)
+	for i := range out {
+		out[i] = ev{
+			t:   float64(rng.Intn(n/2+1)) * 0.73,
+			sub: i,
+			gen: rng.Intn(3),
+		}
+	}
+	return out
+}
+
+func TestHeapPopsInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 7, 100, 2048} {
+		events := randomEvents(rng, n)
+		h := NewHeap(evLess)
+		h.Grow(len(events))
+		for _, e := range events {
+			h.Push(e)
+		}
+		want := slices.Clone(events)
+		slices.SortFunc(want, evCmp)
+		got := make([]ev, 0, n)
+		for h.Len() > 0 {
+			if h.Min() != h.s[0] {
+				t.Fatal("Min disagrees with root")
+			}
+			got = append(got, h.Pop())
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: heap order diverges from sort", n)
+		}
+	}
+}
+
+func TestHeapInterleavedMonotone(t *testing.T) {
+	// Push/pop interleaving with the monotone-time pattern the
+	// simulators use: every push's time >= the last popped time.
+	rng := rand.New(rand.NewSource(2))
+	h := NewHeap(evLess)
+	w := NewWheel(0.5, 16, 0, evTime, evLess)
+	now := 0.0
+	sub := 0
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) > 0 || h.Len() == 0 {
+			e := ev{t: now + float64(rng.Intn(40))*0.25, sub: sub}
+			sub++
+			h.Push(e)
+			w.Push(e)
+		} else {
+			a, b := h.Pop(), w.Pop()
+			if a != b {
+				t.Fatalf("step %d: heap %+v wheel %+v", step, a, b)
+			}
+			now = a.t
+		}
+	}
+	for h.Len() > 0 {
+		if a, b := h.Pop(), w.Pop(); a != b {
+			t.Fatalf("drain: heap %+v wheel %+v", a, b)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel retains %d events", w.Len())
+	}
+}
+
+func TestWheelMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Deliberately adversarial geometries: width far too small (deep
+	// overflow churn), far too large (everything in one bucket), and a
+	// single-bucket ring.
+	for _, g := range []struct {
+		width   float64
+		buckets int
+	}{{0.01, 4}, {1000, 8}, {0.73, 1}, {0.5, 64}} {
+		for _, n := range []int{1, 2, 33, 500} {
+			events := randomEvents(rng, n)
+			w := NewWheel(g.width, g.buckets, 0, evTime, evLess)
+			for _, e := range events {
+				w.Push(e)
+			}
+			want := slices.Clone(events)
+			slices.SortFunc(want, evCmp)
+			for i, wantE := range want {
+				if got := w.Min(); got != wantE {
+					t.Fatalf("w=%g b=%d n=%d: Min[%d] = %+v, want %+v", g.width, g.buckets, n, i, got, wantE)
+				}
+				if got := w.Pop(); got != wantE {
+					t.Fatalf("w=%g b=%d n=%d: pop[%d] = %+v, want %+v", g.width, g.buckets, n, i, got, wantE)
+				}
+			}
+			if w.Len() != 0 {
+				t.Fatalf("wheel not drained: %d left", w.Len())
+			}
+		}
+	}
+}
+
+func TestWheelNegativeAndOffsetTimes(t *testing.T) {
+	// Events before the wheel's start time and far beyond its horizon.
+	w := NewWheel(1.0, 4, 100, evTime, evLess)
+	events := []ev{{t: 99.5, sub: 0}, {t: 100, sub: 1}, {t: 1e6, sub: 2}, {t: 250, sub: 3}}
+	for _, e := range events {
+		w.Push(e)
+	}
+	want := slices.Clone(events)
+	slices.SortFunc(want, evCmp)
+	for _, e := range want {
+		if got := w.Pop(); got != e {
+			t.Fatalf("pop %+v, want %+v", got, e)
+		}
+	}
+}
+
+func TestWheelMonotoneViolationPanics(t *testing.T) {
+	w := NewWheel(1.0, 8, 0, evTime, evLess)
+	w.Push(ev{t: 5})
+	w.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push before last popped time did not panic")
+		}
+	}()
+	w.Push(ev{t: 1})
+}
+
+func TestHeapPushPopAllocs(t *testing.T) {
+	h := NewHeap(evLess)
+	h.Grow(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			h.Push(ev{t: float64(i % 7), sub: i})
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("heap push/pop allocated %.0f times, want 0 (container/heap boxes every element)", allocs)
+	}
+}
+
+func TestWheelSteadyStateAllocs(t *testing.T) {
+	// After warmup, a monotone push/pop cycle reuses bucket storage.
+	w := NewWheel(0.5, 32, 0, evTime, evLess)
+	now := 0.0
+	sub := 0
+	cycle := func() {
+		for i := 0; i < 8; i++ {
+			w.Push(ev{t: now + float64(i)*0.4, sub: sub})
+			sub++
+		}
+		for i := 0; i < 8; i++ {
+			now = evTime(w.Pop())
+		}
+	}
+	for i := 0; i < 64; i++ { // warm bucket capacity
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("steady-state wheel cycle allocated %.0f times, want 0", allocs)
+	}
+}
+
+func TestNewWheelValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewWheel(0, 8, 0, evTime, evLess) },
+		func() { NewWheel(1, 0, 0, evTime, evLess) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid geometry did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"dlrmsim/internal/cluster"
+)
+
+// TestEventBackendsRegistryByteIdentical is the event-core differential
+// suite: the full experiment registry — every figure and table, which
+// between them exercise the closed-loop sort path, the open-loop queue,
+// and the hetsched device timers — must render byte-identical (text and
+// CSV) under every cluster event-queue backend, at 1 worker and at 8.
+// The legacy sort/boxed-heap paths are the reference; the wheel and the
+// generic heap reproduce their total order exactly or this fails with
+// the first differing experiment named.
+func TestEventBackendsRegistryByteIdentical(t *testing.T) {
+	ids := IDs()
+	render := func(workers int) [][]byte {
+		tables, err := RunAll(context.Background(), tinyContext(), ids, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(tables))
+		for i, tbl := range tables {
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.RenderCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf.Bytes()
+		}
+		return out
+	}
+
+	restore := cluster.SetEventBackend(cluster.BackendLegacy)
+	want := render(1)
+	restore()
+
+	backends := []struct {
+		name string
+		b    cluster.EventBackend
+	}{
+		{"legacy", cluster.BackendLegacy},
+		{"heap", cluster.BackendHeap},
+		{"wheel", cluster.BackendWheel},
+		{"default", cluster.BackendDefault},
+	}
+	for _, bk := range backends {
+		for _, workers := range []int{1, 8} {
+			if bk.b == cluster.BackendLegacy && workers == 1 {
+				continue // the reference run itself
+			}
+			t.Run(fmt.Sprintf("%s/workers%d", bk.name, workers), func(t *testing.T) {
+				restore := cluster.SetEventBackend(bk.b)
+				defer restore()
+				got := render(workers)
+				for i, id := range ids {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Errorf("%s: output differs from legacy/workers1:\n--- legacy ---\n%s--- %s ---\n%s",
+							id, want[i], bk.name, got[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package hetsched
+
+import "testing"
+
+// TestEventBackendsByteIdentical pins that the heap-backed device-timer
+// queue and the legacy linear scan produce identical Results across
+// every mix and policy, including batching fleets where hold-window
+// timers are armed, re-armed, and cancelled. The (time, device index)
+// order is the contract; the backend must be invisible.
+func TestEventBackendsByteIdentical(t *testing.T) {
+	g := testGraph()
+	configs := make([]Config, 0, len(Mixes)*len(AllPolicies))
+	for _, mix := range Mixes {
+		devs, err := NewMix(mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range AllPolicies {
+			configs = append(configs, Config{
+				Graph:         g,
+				Devices:       devs,
+				Policy:        pol,
+				MeanArrivalMs: ArrivalForUtilization(g, devs, 0.75),
+				Requests:      400,
+				JitterFrac:    0.2,
+				Seed:          7,
+			})
+		}
+	}
+	for _, cfg := range configs {
+		var results []Result
+		for _, b := range []EventBackend{BackendDefault, BackendScan, BackendHeap} {
+			restore := SetEventBackend(b)
+			res, err := Simulate(cfg)
+			restore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res)
+		}
+		for i := 1; i < len(results); i++ {
+			if results[i] != results[0] {
+				t.Fatalf("policy %v: backend %d diverges:\n%+v\n%+v",
+					cfg.Policy, i, results[0], results[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package memsim
+
+import (
+	"testing"
+)
+
+// batchAddrs builds a gather-shaped access string: rows of `run`
+// consecutive addresses (several per line, lines back to back)
+// separated by pseudo-random row jumps — the workload AccessBatch's
+// same-line fast path is built for.
+func batchAddrs(n, run int) []Addr {
+	addrs := make([]Addr, n)
+	state := uint64(0x2545F4914F6CDD1D)
+	var row Addr
+	for i := range addrs {
+		if i%run == 0 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			row = Addr(state % (1 << 24))
+		}
+		addrs[i] = row + Addr(i%run)*16 // 4 accesses per 64 B line
+	}
+	return addrs
+}
+
+// TestAccessBatchMatchesSequential pins AccessBatch's contract: identical
+// results, identical hierarchy and per-level counters, identical cache
+// state to per-element Access — across loads, stores, and prefetch
+// batches, with hardware prefetchers on.
+func TestAccessBatchMatchesSequential(t *testing.T) {
+	p := benchParams()
+	shSeq, shBat := NewShared(p), NewShared(p)
+	seq := NewHierarchy(p, shSeq)
+	bat := NewHierarchy(p, shBat)
+
+	kinds := []AccessKind{KindLoad, KindStore, KindLoad, KindPrefetchL1, KindLoad}
+	var out []AccessResult
+	for round, kind := range kinds {
+		addrs := batchAddrs(2048, 2+round*3)
+		var now int64 = int64(round) * 1000
+
+		want := make([]AccessResult, 0, len(addrs))
+		for _, a := range addrs {
+			want = append(want, seq.Access(now, a, kind))
+		}
+		out = bat.AccessBatch(now, addrs, kind, out[:0])
+
+		if len(out) != len(want) {
+			t.Fatalf("round %d: %d results, want %d", round, len(out), len(want))
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("round %d addr %d (%#x): batch %+v, sequential %+v",
+					round, i, addrs[i], out[i], want[i])
+			}
+		}
+	}
+
+	if seq.Stats != bat.Stats {
+		t.Errorf("hierarchy stats diverge:\nseq   %+v\nbatch %+v", seq.Stats, bat.Stats)
+	}
+	for _, c := range []struct {
+		name     string
+		seq, bat *Cache
+	}{{"L1", seq.L1, bat.L1}, {"L2", seq.L2, bat.L2}, {"L3", shSeq.L3, shBat.L3}} {
+		if c.seq.Stats != c.bat.Stats {
+			t.Errorf("%s stats diverge:\nseq   %+v\nbatch %+v", c.name, c.seq.Stats, c.bat.Stats)
+		}
+	}
+	// Spot-check residency agreement on the last round's lines.
+	for _, a := range batchAddrs(2048, 14) {
+		if seq.L1.Contains(a) != bat.L1.Contains(a) || seq.L2.Contains(a) != bat.L2.Contains(a) {
+			t.Fatalf("cache contents diverge at %#x", a)
+		}
+	}
+}
+
+// TestAccessBatchAllocs pins the batch path to zero allocations when the
+// caller provides capacity — the point of batching is less per-access
+// work, not a new source of garbage.
+func TestAccessBatchAllocs(t *testing.T) {
+	p := benchParams()
+	h := NewHierarchy(p, NewShared(p))
+	addrs := batchAddrs(512, 8)
+	out := make([]AccessResult, 0, len(addrs))
+	var now int64
+	if allocs := testing.AllocsPerRun(20, func() {
+		out = h.AccessBatch(now, addrs, KindLoad, out[:0])
+		now += 100
+	}); allocs != 0 {
+		t.Errorf("AccessBatch allocates %.1f per batch; want 0", allocs)
+	}
+}
+
+// BenchmarkAccessBatch measures the batched gather walk against
+// BenchmarkHierarchyAccess's per-element baseline shape; the same-line
+// fast path should win on any run length > 1.
+func BenchmarkAccessBatch(b *testing.B) {
+	p := benchParams()
+	h := NewHierarchy(p, NewShared(p))
+	addrs := batchAddrs(1<<13, 8)
+	out := make([]AccessResult, 0, len(addrs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now int64
+	for i := 0; i < b.N; i++ {
+		out = h.AccessBatch(now, addrs, KindLoad, out[:0])
+		now += 1000
+	}
+	b.SetBytes(int64(len(addrs)))
+}
+
+// BenchmarkAccessSequential is the per-element control for
+// BenchmarkAccessBatch on the identical access string.
+func BenchmarkAccessSequential(b *testing.B) {
+	p := benchParams()
+	h := NewHierarchy(p, NewShared(p))
+	addrs := batchAddrs(1<<13, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now int64
+	for i := 0; i < b.N; i++ {
+		for _, a := range addrs {
+			h.Access(now, a, KindLoad)
+		}
+		now += 1000
+	}
+	b.SetBytes(int64(len(addrs)))
+}

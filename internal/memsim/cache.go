@@ -129,6 +129,16 @@ func (c *Cache) setBase(a Addr) (int, uint64) {
 // from prefetch probes (not counted as demand traffic).
 func (c *Cache) Lookup(a Addr, demand bool, now int64) (readyAt int64, hit bool) {
 	base, want := c.setBase(a)
+	_, readyAt, hit = c.lookupAt(base, want, demand, now)
+	return readyAt, hit
+}
+
+// lookupAt is Lookup with the set probe (base, want) already computed —
+// Hierarchy.Access probes each level once and reuses the probe for the
+// fill on the way back. On a hit it also returns the line's index, which
+// fillAt and touchAt accept. The probe must come from setBase in the
+// same logical access (no Reset in between).
+func (c *Cache) lookupAt(base int, want uint64, demand bool, now int64) (idx int, readyAt int64, hit bool) {
 	for i := base; i < base+c.ways; i++ {
 		if c.tags[i] != want {
 			continue
@@ -145,12 +155,36 @@ func (c *Cache) Lookup(a Addr, demand bool, now int64) (readyAt int64, hit bool)
 				c.Stats.InFlightHits++
 			}
 		}
-		return c.ready[i], true
+		return i, c.ready[i], true
 	}
 	if demand {
 		c.Stats.DemandMisses++
 	}
-	return 0, false
+	return -1, 0, false
+}
+
+// touchAt re-touches a line known to be resident at index idx as a
+// demand hit, with exactly a Lookup hit's recency and counter effects,
+// and returns the line's readyAt. AccessBatch's same-line fast path:
+// the previous access left the line resident and nothing between two
+// accesses of one hierarchy can evict it.
+func (c *Cache) touchAt(idx int, a Addr, now int64) int64 {
+	if check.Enabled {
+		_, want := c.setBase(a)
+		check.Assert(c.tags[idx] == want,
+			"memsim: %s: touchAt(%d) for %#x but slot holds tag %#x", c.cfg.Name, idx, a, c.tags[idx])
+	}
+	c.clock++
+	c.used[idx] = c.clock
+	c.Stats.DemandHits++
+	if c.pref[idx] {
+		c.Stats.PrefetchHits++
+		c.pref[idx] = false
+	}
+	if c.ready[idx] > now {
+		c.Stats.InFlightHits++
+	}
+	return c.ready[idx]
 }
 
 // Fill installs the line containing a, with its data becoming available at
@@ -158,29 +192,41 @@ func (c *Cache) Lookup(a Addr, demand bool, now int64) (readyAt int64, hit bool)
 // marks the fill as speculative for useless-prefetch accounting.
 func (c *Cache) Fill(a Addr, readyAt int64, prefetch bool) {
 	base, want := c.setBase(a)
+	c.fillAt(base, want, readyAt, prefetch)
+}
+
+// fillAt is Fill with the probe precomputed (see lookupAt). One pass
+// over the set finds the resident line, the first invalid way, and the
+// LRU victim together — the fill path runs on every miss, and the old
+// match-scan-then-victim-scan walked the set twice. Returns the index
+// the line now occupies.
+func (c *Cache) fillAt(base int, want uint64, readyAt int64, prefetch bool) int {
 	c.clock++
+	victim := base
+	invalid := -1
+	var victimUsed int64 = 1<<63 - 1
 	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == want {
-			// Already present (e.g. two prefetches to one line).
+		switch {
+		case c.tags[i] == want:
+			// Already present (e.g. two prefetches to one line). The tag
+			// is resident at most once (asserted below), so no later way
+			// can also match.
 			if readyAt < c.ready[i] {
 				c.ready[i] = readyAt
 			}
 			c.used[i] = c.clock
-			return
-		}
-	}
-	victim := base
-	var victimUsed int64 = 1<<63 - 1
-	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == 0 {
-			victim, victimUsed = i, 0
-			break
-		}
-		if c.used[i] < victimUsed {
+			return i
+		case c.tags[i] == 0:
+			if invalid < 0 {
+				invalid = i
+			}
+		case c.used[i] < victimUsed:
 			victim, victimUsed = i, c.used[i]
 		}
 	}
-	if c.tags[victim] != 0 {
+	if invalid >= 0 {
+		victim = invalid
+	} else {
 		c.Stats.Evictions++
 		if c.pref[victim] {
 			c.Stats.UselessPrefILL++
@@ -205,6 +251,18 @@ func (c *Cache) Fill(a Addr, readyAt int64, prefetch bool) {
 		}
 		check.Assert(dup == 1, "memsim: %s: tag %#x resident %d times in one set", c.cfg.Name, want, dup)
 	}
+	return victim
+}
+
+// refreshAt re-installs a line already known resident at idx — exactly
+// fillAt's match branch, minus the set scan the caller just performed via
+// lookupAt in the same logical access (no Reset or eviction in between).
+func (c *Cache) refreshAt(idx int, readyAt int64) {
+	c.clock++
+	if readyAt < c.ready[idx] {
+		c.ready[idx] = readyAt
+	}
+	c.used[idx] = c.clock
 }
 
 // Contains reports whether the line holding a is resident, without touching

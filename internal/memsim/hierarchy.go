@@ -158,6 +158,61 @@ func (h *Hierarchy) Access(now int64, a Addr, kind AccessKind) AccessResult {
 	if kind.IsPrefetch() {
 		return h.prefetch(now, a, kind)
 	}
+	res, _ := h.demandAccess(now, a, kind)
+	return res
+}
+
+// AccessBatch performs the demand accesses in addrs, in order, all at
+// cycle now, appending one result per address to out (which it returns,
+// grown). It is observably identical to calling Access per element —
+// same results, same cache state, same counters — but amortizes the
+// hierarchy walk: a run of addresses falling in one line (the shape of
+// an embedding-row gather, where a row spans several sequential lines
+// and each line several values) touches the L1 slot the previous
+// access pinned instead of re-probing every level. Prefetch kinds take
+// the per-element path unchanged.
+func (h *Hierarchy) AccessBatch(now int64, addrs []Addr, kind AccessKind, out []AccessResult) []AccessResult {
+	if kind.IsPrefetch() {
+		for _, a := range addrs {
+			out = append(out, h.Access(now, a, kind))
+		}
+		return out
+	}
+	prevIdx := -1
+	var prevLine Addr
+	for _, a := range addrs {
+		la := LineAddr(a)
+		if prevIdx >= 0 && la == prevLine {
+			// The previous access left la resident in L1 at prevIdx, and
+			// nothing between two accesses of one hierarchy evicts it.
+			if kind == KindLoad {
+				h.Stats.Loads++
+			} else {
+				h.Stats.Stores++
+			}
+			readyAt := h.L1.touchAt(prevIdx, la, now)
+			lat := residual(now, readyAt, h.L1.cfg.LatencyCyc)
+			h.record(kind, LevelL1, lat)
+			out = append(out, AccessResult{Level: LevelL1, Latency: lat, InFlightHit: readyAt > now})
+			continue
+		}
+		res, idx := h.demandAccess(now, la, kind)
+		out = append(out, res)
+		prevIdx, prevLine = idx, la
+	}
+	return out
+}
+
+// demandAccess walks the hierarchy for one demand access to the
+// line-aligned address a. Each level's set probe (base, encoded tag) is
+// computed once and shared between the lookup on the way down and the
+// fill on the way back — a probe is a pure function of the address and
+// geometry, fillAt rescans the set's current contents, and only a
+// Reset (impossible mid-access) could stale the lazy set validation,
+// so prefetch fills interleaved between probe and fill are safe.
+// Returns the L1 index now holding the line (every demand access ends
+// with the line in L1).
+func (h *Hierarchy) demandAccess(now int64, a Addr, kind AccessKind) (AccessResult, int) {
 	if kind == KindLoad {
 		h.Stats.Loads++
 	} else {
@@ -165,10 +220,11 @@ func (h *Hierarchy) Access(now int64, a Addr, kind AccessKind) AccessResult {
 	}
 
 	// L1 probe.
-	if readyAt, hit := h.L1.Lookup(a, true, now); hit {
+	b1, w1 := h.L1.setBase(a)
+	if idx, readyAt, hit := h.L1.lookupAt(b1, w1, true, now); hit {
 		lat := residual(now, readyAt, h.L1.cfg.LatencyCyc)
 		h.record(kind, LevelL1, lat)
-		return AccessResult{Level: LevelL1, Latency: lat, InFlightHit: readyAt > now}
+		return AccessResult{Level: LevelL1, Latency: lat, InFlightHit: readyAt > now}, idx
 	}
 	// L1 miss: train the L1 hardware prefetcher. Like Intel's DCU
 	// prefetcher, its fills land in L2 — strong enough to help streaming
@@ -181,11 +237,12 @@ func (h *Hierarchy) Access(now int64, a Addr, kind AccessKind) AccessResult {
 	}
 
 	// L2 probe.
-	if readyAt, hit := h.L2.Lookup(a, true, now); hit {
+	b2, w2 := h.L2.setBase(a)
+	if _, readyAt, hit := h.L2.lookupAt(b2, w2, true, now); hit {
 		lat := residual(now, readyAt, h.L2.cfg.LatencyCyc)
-		h.L1.Fill(a, now+lat, false)
+		idx := h.L1.fillAt(b1, w1, now+lat, false)
 		h.record(kind, LevelL2, lat)
-		return AccessResult{Level: LevelL2, Latency: lat, InFlightHit: readyAt > now}
+		return AccessResult{Level: LevelL2, Latency: lat, InFlightHit: readyAt > now}, idx
 	}
 	if h.HWPrefetchEnabled {
 		h.pfBuf = h.l2pf.OnDemandMiss(a, h.pfBuf[:0])
@@ -195,22 +252,23 @@ func (h *Hierarchy) Access(now int64, a Addr, kind AccessKind) AccessResult {
 	}
 
 	// L3 probe.
-	if readyAt, hit := h.shared.L3.Lookup(a, true, now); hit {
+	b3, w3 := h.shared.L3.setBase(a)
+	if _, readyAt, hit := h.shared.L3.lookupAt(b3, w3, true, now); hit {
 		lat := residual(now, readyAt, h.shared.L3.cfg.LatencyCyc)
-		h.L2.Fill(a, now+lat, false)
-		h.L1.Fill(a, now+lat, false)
+		h.L2.fillAt(b2, w2, now+lat, false)
+		idx := h.L1.fillAt(b1, w1, now+lat, false)
 		h.record(kind, LevelL3, lat)
-		return AccessResult{Level: LevelL3, Latency: lat, InFlightHit: readyAt > now}
+		return AccessResult{Level: LevelL3, Latency: lat, InFlightHit: readyAt > now}, idx
 	}
 
 	// DRAM (local or remote-socket per line homing).
 	lat := h.shared.L3.cfg.LatencyCyc + h.shared.memLatency(a)
 	h.shared.recordFill(a, false)
-	h.shared.L3.Fill(a, now+lat, false)
-	h.L2.Fill(a, now+lat, false)
-	h.L1.Fill(a, now+lat, false)
+	h.shared.L3.fillAt(b3, w3, now+lat, false)
+	h.L2.fillAt(b2, w2, now+lat, false)
+	idx := h.L1.fillAt(b1, w1, now+lat, false)
 	h.record(kind, LevelDRAM, lat)
-	return AccessResult{Level: LevelDRAM, Latency: lat}
+	return AccessResult{Level: LevelDRAM, Latency: lat}, idx
 }
 
 func (h *Hierarchy) record(kind AccessKind, lvl Level, lat int64) {
@@ -232,53 +290,67 @@ func (h *Hierarchy) prefetch(now int64, a Addr, kind AccessKind) AccessResult {
 	case KindPrefetchL3:
 		target = LevelL3
 	}
-	lvl, lat := h.locate(now, a)
-	if lvl <= target {
-		// Already close enough; the hint is a no-op.
-		return AccessResult{Level: lvl, Latency: 0}
-	}
-	readyAt := now + lat
-	if target <= LevelL3 {
-		h.shared.L3.Fill(a, readyAt, true)
-	}
-	if target <= LevelL2 {
-		h.L2.Fill(a, readyAt, true)
-	}
-	if target == LevelL1 {
-		h.L1.Fill(a, readyAt, true)
-	}
+	lvl, lat := h.pfAccess(now, a, target)
 	return AccessResult{Level: lvl, Latency: lat}
 }
 
 // hwPrefetchInto issues a hardware prefetch of line a into the given level.
 func (h *Hierarchy) hwPrefetchInto(now int64, a Addr, target Level) {
 	h.Stats.HWPrefetches++
-	lvl, lat := h.locate(now, a)
-	if lvl <= target {
-		return
-	}
-	readyAt := now + lat
-	h.shared.L3.Fill(a, readyAt, true)
-	if target <= LevelL2 {
-		h.L2.Fill(a, readyAt, true)
-	}
-	if target == LevelL1 {
-		h.L1.Fill(a, readyAt, true)
-	}
+	h.pfAccess(now, a, target)
 }
 
-// locate finds the nearest level currently holding line a and the latency
-// to obtain it from there, without counting demand traffic or refilling.
-func (h *Hierarchy) locate(now int64, a Addr) (Level, int64) {
-	if readyAt, hit := h.L1.Lookup(a, false, now); hit {
-		return LevelL1, residual(now, readyAt, h.L1.cfg.LatencyCyc)
+// pfAccess walks the hierarchy for one prefetch of line a: it locates the
+// nearest level holding the line and, unless that is already at or above
+// target, installs the line at target and every level below it. Like
+// demandAccess, each level's set probe is computed once and shared
+// between the locate walk and the fills on the way back, and a level the
+// walk proved resident is refreshed in place instead of rescanned.
+// Returns the serving level and the fill latency — 0 when the hint was a
+// no-op, since the requester never waits on a prefetch that is already
+// close enough.
+func (h *Hierarchy) pfAccess(now int64, a Addr, target Level) (Level, int64) {
+	b1, w1 := h.L1.setBase(a)
+	if _, _, hit := h.L1.lookupAt(b1, w1, false, now); hit {
+		return LevelL1, 0 // already as close as any hint asks
 	}
-	if readyAt, hit := h.L2.Lookup(a, false, now); hit {
-		return LevelL2, residual(now, readyAt, h.L2.cfg.LatencyCyc)
+	b2, w2 := h.L2.setBase(a)
+	if i2, readyAt, hit := h.L2.lookupAt(b2, w2, false, now); hit {
+		if target >= LevelL2 {
+			return LevelL2, 0
+		}
+		lat := residual(now, readyAt, h.L2.cfg.LatencyCyc)
+		fill := now + lat
+		h.shared.L3.Fill(a, fill, true)
+		h.L2.refreshAt(i2, fill)
+		h.L1.fillAt(b1, w1, fill, true)
+		return LevelL2, lat
 	}
-	if readyAt, hit := h.shared.L3.Lookup(a, false, now); hit {
-		return LevelL3, residual(now, readyAt, h.shared.L3.cfg.LatencyCyc)
+	b3, w3 := h.shared.L3.setBase(a)
+	if i3, readyAt, hit := h.shared.L3.lookupAt(b3, w3, false, now); hit {
+		if target >= LevelL3 {
+			return LevelL3, 0
+		}
+		lat := residual(now, readyAt, h.shared.L3.cfg.LatencyCyc)
+		fill := now + lat
+		h.shared.L3.refreshAt(i3, fill)
+		if target <= LevelL2 {
+			h.L2.fillAt(b2, w2, fill, true)
+		}
+		if target == LevelL1 {
+			h.L1.fillAt(b1, w1, fill, true)
+		}
+		return LevelL3, lat
 	}
 	h.shared.recordFill(a, true)
-	return LevelDRAM, h.shared.L3.cfg.LatencyCyc + h.shared.memLatency(a)
+	lat := h.shared.L3.cfg.LatencyCyc + h.shared.memLatency(a)
+	fill := now + lat
+	h.shared.L3.fillAt(b3, w3, fill, true)
+	if target <= LevelL2 {
+		h.L2.fillAt(b2, w2, fill, true)
+	}
+	if target == LevelL1 {
+		h.L1.fillAt(b1, w1, fill, true)
+	}
+	return LevelDRAM, lat
 }

@@ -119,10 +119,11 @@ func SimulateBatching(cfg BatchingConfig) (BatchingResult, error) {
 			batchStart = i + 1
 		}
 	}
+	pct := stats.Percentiles(latencies, 0.50, 0.95, 0.99)
 	res := BatchingResult{
-		P50:     stats.Percentile(latencies, 0.50),
-		P95:     stats.Percentile(latencies, 0.95),
-		P99:     stats.Percentile(latencies, 0.99),
+		P50:     pct[0],
+		P95:     pct[1],
+		P99:     pct[2],
 		Mean:    stats.Mean(latencies),
 		Batches: nBatches,
 	}

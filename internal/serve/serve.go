@@ -222,10 +222,11 @@ func Simulate(cfg Config) (Result, error) {
 			slaOK++
 		}
 	}
+	pct := stats.Percentiles(latencies, 0.50, 0.95, 0.99)
 	res := Result{
-		P50:            stats.Percentile(latencies, 0.50),
-		P95:            stats.Percentile(latencies, 0.95),
-		P99:            stats.Percentile(latencies, 0.99),
+		P50:            pct[0],
+		P95:            pct[1],
+		P99:            pct[2],
 		Mean:           stats.Mean(latencies),
 		SLACompliant:   float64(slaOK) / float64(len(latencies)),
 		Utilization:    cfg.ServiceMs * MeanJitter(cfg.JitterFrac) / (cfg.MeanArrivalMs * float64(cfg.Cores)),

@@ -180,6 +180,35 @@ func Percentile(samples []float64, p float64) float64 {
 	return s[rank-1]
 }
 
+// Percentiles returns the p-quantiles for each p in ps, sorting the
+// sample copy ONCE. Every result is bit-identical to calling
+// Percentile(samples, p) per p — same copy, same sort, same
+// nearest-rank formula — but a summary that reports p50/p95/p99 pays
+// for one O(n log n) sort instead of three. The caller's slice is not
+// reordered.
+func Percentiles(samples []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(samples) == 0 {
+		return out
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		rank := int(math.Ceil(p * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = s[rank-1]
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean of samples (0 for an empty slice).
 func Mean(samples []float64) float64 {
 	if len(samples) == 0 {
