@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"dlrmsim/internal/check"
+	"dlrmsim/internal/cluster"
 	"dlrmsim/internal/exp"
 	"dlrmsim/internal/prof"
 )
@@ -47,6 +48,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		bwIters   = flag.Int("bwiters", 2, "DRAM bandwidth fixed-point iterations")
 		workers   = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (1 = sequential)")
+		shardW    = flag.Int("shard-workers", 1, "logical processes per cluster simulation (conservative parallel DES; 1 = sequential, byte-identical at any value)")
 		format    = flag.String("format", "text", "output format: text | csv")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		quietTime = flag.Bool("notime", false, "suppress timing output")
@@ -91,6 +93,9 @@ func main() {
 	if *workers < 1 {
 		flagErrs = append(flagErrs, fmt.Errorf("-workers %d (want >= 1)", *workers))
 	}
+	if *shardW < 1 {
+		flagErrs = append(flagErrs, fmt.Errorf("-shard-workers %d (want >= 1)", *shardW))
+	}
 	resumeSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "resume" {
@@ -102,6 +107,9 @@ func main() {
 	}
 	if len(flagErrs) > 0 {
 		fail(errors.Join(flagErrs...))
+	}
+	if *shardW > 1 {
+		cluster.SetExecBackend(cluster.Parallel(*shardW))
 	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 type mainFlags struct {
 	scale, nodes, batch, servers, cores, queries int
 	arrival, util, netLat, netBW                 float64
+	shardWorkers                                 int
 
 	// Open-loop live-traffic mode (-open).
 	open                              bool
@@ -85,6 +86,9 @@ func (o mainFlags) validate(isSet func(string) bool) error {
 	}
 	if o.cores < 0 {
 		errs = append(errs, fmt.Errorf("-cores %d (want >= 0)", o.cores))
+	}
+	if o.shardWorkers < 1 {
+		errs = append(errs, fmt.Errorf("-shard-workers %d (want >= 1)", o.shardWorkers))
 	}
 	if o.netLat < 0 || o.netBW < 0 {
 		errs = append(errs, fmt.Errorf("negative network parameters (-netlat %g, -netbw %g)", o.netLat, o.netBW))
@@ -239,6 +243,7 @@ func main() {
 	flag.IntVar(&o.batch, "batch", 8, "samples per query batch (also the engine batch size)")
 	flag.IntVar(&o.servers, "servers", 2, "concurrent servers per node")
 	flag.IntVar(&o.cores, "cores", 0, "engine cores for the timing run (0 = all platform cores)")
+	flag.IntVar(&o.shardWorkers, "shard-workers", 1, "logical processes per simulation run (conservative parallel DES; 1 = sequential, byte-identical at any value)")
 	flag.IntVar(&o.queries, "queries", 4000, "closed-loop queries to simulate per sweep point")
 	flag.Float64Var(&o.arrival, "arrival", 0, "closed-loop mean query inter-arrival time in ms (0 = derive from -util)")
 	flag.Float64Var(&o.util, "util", 0.55, "target per-node utilization when -arrival/-rate is 0 (may exceed 1 with -open)")
@@ -279,6 +284,9 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	if err := o.validate(func(name string) bool { return setFlags[name] }); err != nil {
 		fatal(err)
+	}
+	if o.shardWorkers > 1 {
+		cluster.SetExecBackend(cluster.Parallel(o.shardWorkers))
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)

@@ -12,7 +12,7 @@ import (
 func goodFlags() mainFlags {
 	return mainFlags{
 		scale: 8, nodes: 8, batch: 8, servers: 2, queries: 4000,
-		util: 0.55, netBW: 10,
+		util: 0.55, netBW: 10, shardWorkers: 1,
 		arrivals: "poisson", admit: "none",
 		burstFactor: 2, flashFactor: 3, revisit: 0.6, affinity: 0.5,
 	}
@@ -36,6 +36,7 @@ func TestValidateBadInputs(t *testing.T) {
 		{"zero batch", func(o *mainFlags) { o.batch = 0 }, nil, "-batch"},
 		{"zero servers", func(o *mainFlags) { o.servers = 0 }, nil, "-servers"},
 		{"negative cores", func(o *mainFlags) { o.cores = -2 }, nil, "-cores"},
+		{"zero shard workers", func(o *mainFlags) { o.shardWorkers = 0 }, nil, "-shard-workers"},
 		{"zero queries closed", func(o *mainFlags) { o.queries = 0 }, nil, "-queries"},
 		{"negative arrival", func(o *mainFlags) { o.arrival = -0.5 }, nil, "-arrival"},
 		{"util at 1 closed", func(o *mainFlags) { o.util = 1 }, nil, "-util"},

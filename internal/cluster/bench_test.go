@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
 	"dlrmsim/internal/trace"
+	"dlrmsim/internal/traffic"
 )
 
 func benchConfig(tb testing.TB, faulted bool) Config {
@@ -34,6 +36,64 @@ func benchConfig(tb testing.TB, faulted bool) Config {
 		cfg.Mitigation = Mitigation{TimeoutMs: 2, MaxRetries: 2, HedgeDelayMs: 1, DegradedJoin: true}
 	}
 	return cfg
+}
+
+// openBenchConfig is the day-scale open-loop workload the parallel
+// execution backend is benchmarked on: a diurnal Poisson day against a
+// population of revisiting users, admission control live, stream-stats
+// on (the mode a real day-length run needs for flat memory).
+func openBenchConfig(tb testing.TB) Config {
+	tb.Helper()
+	plan, err := NewPlan(testModel(), 8, RowRange, 0.01, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tm := testTiming()
+	return Config{
+		Plan:            plan,
+		Hotness:         trace.HighHot,
+		SamplesPerQuery: 8,
+		Timing:          tm,
+		Net:             DefaultNetwork(),
+		ServersPerNode:  2,
+		JitterFrac:      0.08,
+		Seed:            1,
+		Open: &OpenLoop{
+			Arrivals: traffic.Config{
+				Model:     traffic.Poisson,
+				RatePerMs: 1 / ArrivalForUtilization(plan, tm, 8, 2, 0.7),
+				DayMs:     4000, DiurnalAmp: 0.6,
+			},
+			Population:  &traffic.Population{Users: 1 << 16, RevisitProb: 0.6, Affinity: 0.5},
+			DurationMs:  4000,
+			SLAMs:       50,
+			Admission:   Admission{Policy: ShedOverBudget, QueueBudgetMs: 25},
+			StreamStats: true,
+		},
+	}
+}
+
+// BenchmarkOpenLoopParallel measures the open-loop day-scale run under
+// the conservative-window parallel backend at 1, 2, 4, and 8 logical
+// processes (p1 = the sequential driver; the output is byte-identical
+// at every P, so this is a pure execution-cost curve). Speedup over p1
+// requires free hardware cores — on a single-CPU host the curve is
+// flat and the windowing overhead is what's being measured.
+func BenchmarkOpenLoopParallel(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			cfg := openBenchConfig(b)
+			restore := SetExecBackend(Parallel(p))
+			defer restore()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkClusterSimulate measures one full discrete-event cluster run —

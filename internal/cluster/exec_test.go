@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"testing"
+
+	"dlrmsim/internal/trace"
+	"dlrmsim/internal/traffic"
+)
+
+// forceFanOut makes every non-trivial window take the goroutine path so
+// the tests exercise the real partitioned serving, not the inline
+// fallback.
+func forceFanOut(t *testing.T) {
+	t.Helper()
+	prev := execFanOutMin
+	execFanOutMin = 0
+	t.Cleanup(func() { execFanOutMin = prev })
+}
+
+// execConfigs spans the closed-loop behavior space the parallel backend
+// must reproduce bitwise: the plain path, the fault-injected path, and
+// each conditional-copy mitigation (hedging and timeout retries) whose
+// suppression logic the conservative windows defer.
+func execConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	plain := testConfig(t, 8, RowRange, 0.01, trace.HighHot)
+	faulted := faultConfig(t, trace.MediumHot)
+	hedged := faultConfig(t, trace.HighHot)
+	hedged.Mitigation = Mitigation{HedgeDelayMs: hedgeDelay(t, trace.HighHot)}
+	retried := faultConfig(t, trace.MediumHot)
+	retried.Mitigation = Mitigation{TimeoutMs: hedgeDelay(t, trace.MediumHot) * 2, MaxRetries: 2}
+	return map[string]Config{
+		"plain":   plain,
+		"faults":  faulted,
+		"hedge":   hedged,
+		"retries": retried,
+	}
+}
+
+func hedgeDelay(t *testing.T, h trace.Hotness) float64 {
+	t.Helper()
+	return cleanBaseline(t, h).P99
+}
+
+func TestParallelBackendByteIdenticalClosedLoop(t *testing.T) {
+	forceFanOut(t)
+	for name, cfg := range execConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			want, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 3, 8, 32} {
+				restore := SetExecBackend(Parallel(shards))
+				got, err := Simulate(cfg)
+				restore()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("Parallel(%d) diverged from Sequential:\nseq %+v\npar %+v", shards, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFallsBackOnFreeNetwork pins the documented degradation:
+// conditional copies with zero network latency leave no lookahead, so
+// the run must take the sequential path (and still match it exactly).
+func TestParallelFallsBackOnFreeNetwork(t *testing.T) {
+	forceFanOut(t)
+	cfg := faultConfig(t, trace.HighHot)
+	cfg.Net = Network{}
+	cfg.Mitigation = Mitigation{HedgeDelayMs: hedgeDelay(t, trace.HighHot)}
+	want, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := SetExecBackend(Parallel(4))
+	defer restore()
+	got, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("zero-latency fallback diverged:\nseq %+v\npar %+v", want, got)
+	}
+}
+
+// openExecConfigs spans the open-loop behavior space the windowed
+// parallel driver must reproduce bitwise: the plain admit-all path,
+// admission control reading reconstructed queue state, bursty overload,
+// autoscaler ticks truncating windows, population revisits flowing
+// through the pre-draw ring, and fault injection with hedging.
+func openExecConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	cfgs := map[string]Config{}
+
+	plain := openTestConfig(t, 4, &OpenLoop{
+		Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.5)},
+		DurationMs: 400,
+		SLAMs:      50,
+	})
+	cfgs["plain"] = plain
+
+	shed := openTestConfig(t, 4, &OpenLoop{
+		Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.5)},
+		DurationMs: 400,
+		SLAMs:      50,
+		Admission:  Admission{Policy: ShedOverBudget, QueueBudgetMs: 10},
+	})
+	cfgs["shed"] = shed
+
+	cfgs["burst-shed"] = openColdConfig(t, 4, &OpenLoop{
+		Arrivals: traffic.Config{
+			Model: traffic.MMPP, RatePerMs: openRate(t, 4, 0.9),
+			BurstFactor: 3, BurstEveryMs: 80, BurstMeanMs: 40,
+		},
+		DurationMs: 600,
+		SLAMs:      8,
+		Admission:  Admission{Policy: ShedOverBudget, QueueBudgetMs: 2},
+	})
+
+	cfgs["autoscale"] = openColdConfig(t, 4, &OpenLoop{
+		Arrivals: traffic.Config{
+			Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.5),
+			DayMs: 800, DiurnalAmp: 0.8,
+		},
+		DurationMs: 800,
+		SLAMs:      50,
+		StartNodes: 2,
+		Autoscale: &Autoscaler{
+			IntervalMs:    16,
+			UpBacklogMs:   2,
+			DownBacklogMs: 0.2,
+			ProvisionMs:   16,
+			MinNodes:      2,
+			MaxNodes:      4,
+		},
+	})
+
+	cfgs["population"] = openTestConfig(t, 4, &OpenLoop{
+		Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.4)},
+		DurationMs: 500,
+		SLAMs:      100,
+		Population: &traffic.Population{Users: 1 << 16, RevisitProb: 0.7, Affinity: 0.6},
+	})
+
+	faulted := openTestConfig(t, 4, &OpenLoop{
+		Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.5)},
+		DurationMs: 400,
+		SLAMs:      50,
+	})
+	faulted.Faults = testFaults()
+	faulted.Mitigation = Mitigation{HedgeDelayMs: hedgeDelay(t, trace.HighHot), DegradedJoin: true,
+		TimeoutMs: hedgeDelay(t, trace.HighHot) * 2, MaxRetries: 1}
+	cfgs["faults"] = faulted
+
+	return cfgs
+}
+
+// TestParallelBackendByteIdenticalOpenLoop: the windowed driver is
+// bit-for-bit the sequential event loop at every shard count, in both
+// the batch-join and stream-stats summaries. The tiny pre-draw block
+// forces ring refills mid-window, exercising the refill path's
+// sequential/concurrent split.
+func TestParallelBackendByteIdenticalOpenLoop(t *testing.T) {
+	forceFanOut(t)
+	prevBlock := openPredrawBlock
+	openPredrawBlock = 7
+	t.Cleanup(func() { openPredrawBlock = prevBlock })
+	for name, cfg := range openExecConfigs(t) {
+		for _, stream := range []bool{false, true} {
+			label := name
+			if stream {
+				label += "-stream"
+			}
+			t.Run(label, func(t *testing.T) {
+				cfg := cfg
+				o := *cfg.Open
+				o.StreamStats = stream
+				cfg.Open = &o
+				want, err := Simulate(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{2, 3, 8} {
+					restore := SetExecBackend(Parallel(shards))
+					got, err := Simulate(cfg)
+					restore()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("Parallel(%d) diverged from Sequential:\nseq %+v\npar %+v", shards, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestExecBackendShards(t *testing.T) {
+	if got := Sequential.Shards(); got != 1 {
+		t.Fatalf("Sequential.Shards() = %d", got)
+	}
+	if got := Parallel(0).Shards(); got != 1 {
+		t.Fatalf("Parallel(0).Shards() = %d", got)
+	}
+	if got := Parallel(6).Shards(); got != 6 {
+		t.Fatalf("Parallel(6).Shards() = %d", got)
+	}
+	restore := SetExecBackend(Parallel(16))
+	if got := execParts(4); got != 4 {
+		t.Fatalf("execParts(4) under Parallel(16) = %d", got)
+	}
+	restore()
+	if got := execParts(4); got != 1 {
+		t.Fatalf("execParts(4) after restore = %d", got)
+	}
+}

@@ -32,7 +32,6 @@ import (
 	"math"
 
 	"dlrmsim/internal/check"
-	"dlrmsim/internal/serve"
 	"dlrmsim/internal/stats"
 	"dlrmsim/internal/trace"
 	"dlrmsim/internal/traffic"
@@ -341,9 +340,70 @@ type openQuery struct {
 	revisit  bool
 }
 
-// simulateOpen runs the open-loop live-traffic simulation. cfg has been
-// default-applied; cfg.Open is non-nil.
-func simulateOpen(cfg Config) (Result, error) {
+// openRun is one open-loop simulation's mutable state, factored out of
+// the historical simulateOpen monolith so the sequential driver (loop)
+// and the conservative-window parallel driver (openparallel.go) share
+// every event handler — tick, arrival, summary — verbatim. Only the
+// driver differs; the handlers are where the semantics live.
+type openRun struct {
+	o    *OpenLoop
+	plan *Plan
+	st   *simState
+
+	stream   *traffic.Stream
+	visitors *traffic.Visitors
+	pop      traffic.Population
+	zipf     *stats.Zipf
+
+	// The active set. route walks a shard's standby chain to the first
+	// active node — the same chain retries use, so any node can serve
+	// any shard's rows (standby replicas, as in the fault model).
+	active      []bool
+	activeCount int
+
+	// Time-weighted active-set accounting; the set only changes at ticks.
+	nodeMsSum  float64
+	lastChange float64
+
+	as           *Autoscaler
+	nextTick     float64
+	pendingNode  int
+	pendingReady float64
+	scaleUps     int
+	scaleDowns   int
+
+	minuteMs float64
+	violated map[int]bool
+	sj       *streamJoin
+
+	h        copyQueue       // the sequential driver's single copy queue
+	push     func(c subCopy) // driver-owned: where scheduled copies go
+	queries  []openQuery
+	firstSub []int
+	cold     []int // arrival-scratch: cold lookups per owner node
+	eff      []int // arrival-scratch: cold work per effective node
+	draws    int
+
+	hotLookups, totalLookups int
+
+	nextArr float64
+	q       int
+
+	// Pre-draw ring (openparallel.go): arrivals whose lookup draws were
+	// computed ahead, in parallel, as pure functions of (Seed, q, user).
+	ring     []openArrival
+	ringCold []int
+	ringHead int
+
+	// The run's recycled working set (arena.go); simulateOpen releases
+	// it after the summary.
+	arena *runArena
+}
+
+// newOpenRun builds the run state. cfg has been default-applied;
+// cfg.Open is non-nil. sketchParts sizes the stream-stats join's
+// per-partition sketch set (1 for the sequential driver).
+func newOpenRun(cfg Config, sketchParts int) (*openRun, error) {
 	o := cfg.Open
 	plan := cfg.Plan
 	model := plan.Model
@@ -352,7 +412,7 @@ func simulateOpen(cfg Config) (Result, error) {
 	ar.Seed = stats.SplitSeed(cfg.Seed^saltOpenArrivals, 0)
 	stream, err := traffic.NewStream(ar)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	var visitors *traffic.Visitors
 	var pop traffic.Population
@@ -361,81 +421,33 @@ func simulateOpen(cfg Config) (Result, error) {
 		pop.Seed = stats.SplitSeed(cfg.Seed^saltOpenUsers, 0)
 		visitors, err = traffic.NewVisitors(pop)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
 
+	a := acquireArena()
 	st := &simState{
 		cfg:      cfg,
 		plan:     plan,
-		queues:   make([]*serve.Queue, plan.Nodes),
+		queues:   a.queueSet(plan.Nodes, cfg.ServersPerNode),
 		warmupMs: o.WarmupMs,
 	}
-	for n := range st.queues {
-		st.queues[n] = serve.NewQueue(cfg.ServersPerNode)
-	}
+	st.subs = a.subs[:0]
+	st.copies = a.copies[:0]
 	if cfg.Faults.Active() {
 		st.faults = newFaultState(cfg.Faults, cfg.Seed, plan.Nodes)
 	}
 
-	// The active set. route walks a shard's standby chain to the first
-	// active node — the same chain retries use, so any node can serve any
-	// shard's rows (standby replicas, as in the fault model).
-	active := make([]bool, plan.Nodes)
+	active := a.boolSet(plan.Nodes)
 	for n := 0; n < o.StartNodes; n++ {
 		active[n] = true
 	}
-	activeCount := o.StartNodes
-	route := func(n int) int {
-		for k := 0; k < plan.Nodes; k++ {
-			if t := (n + k) % plan.Nodes; active[t] {
-				return t
-			}
-		}
-		return n // unreachable: the active set never empties
-	}
-	backlog := func(n int, now float64) float64 {
-		if b := st.queues[n].EarliestFree() - now; b > 0 {
-			return b
-		}
-		return 0
-	}
-
-	// Time-weighted active-set accounting; the set only changes at ticks.
-	var nodeMsSum, lastChange float64
-	noteActive := func(now float64) {
-		nodeMsSum += float64(activeCount) * (now - lastChange)
-		lastChange = now
-	}
-
-	as := o.Autoscale
-	nextTick := math.Inf(1)
-	if as != nil {
-		nextTick = as.IntervalMs
-	}
-	pendingNode := -1
-	var pendingReady float64
-	var scaleUps, scaleDowns int
 
 	var zipf *stats.Zipf
 	switch cfg.Hotness {
 	case trace.OneItem, trace.RandomAccess:
 	default:
 		zipf = stats.NewSharedZipf(model.RowsPerTable, cfg.Hotness.ReferenceExponent())
-	}
-	// sample draws one lookup's hotness rank from any generator — the
-	// per-(query,table) stream for fresh lookups, a stateless profile
-	// stream for profile lookups, so profile slots keep the marginal
-	// hotness distribution while pinning each slot to one row.
-	sample := func(rng *stats.RNG) int {
-		switch cfg.Hotness {
-		case trace.OneItem:
-			return 0
-		case trace.RandomAccess:
-			return rng.Intn(model.RowsPerTable)
-		default:
-			return zipf.SampleWith(rng)
-		}
 	}
 
 	// SLA-violation minutes bucketize on the configured day when the
@@ -444,201 +456,335 @@ func simulateOpen(cfg Config) (Result, error) {
 	if ar.DayMs > 0 {
 		minuteMs = ar.DayMs / 1440
 	}
-	violated := make(map[int]bool)
 
-	var sj *streamJoin
+	r := &openRun{
+		o:           o,
+		plan:        plan,
+		st:          st,
+		stream:      stream,
+		visitors:    visitors,
+		pop:         pop,
+		zipf:        zipf,
+		active:      active,
+		activeCount: o.StartNodes,
+		as:          o.Autoscale,
+		nextTick:    math.Inf(1),
+		pendingNode: -1,
+		minuteMs:    minuteMs,
+		violated:    a.violatedMap(),
+		queries:     a.queries[:0],
+		firstSub:    append(a.firstSub[:0], 0),
+		cold:        arenaInts(&a.cold, plan.Nodes),
+		eff:         arenaInts(&a.eff, plan.Nodes),
+		draws:       cfg.SamplesPerQuery * model.LookupsPerSample,
+		ring:        a.ring,
+		ringCold:    a.ringCold,
+		arena:       a,
+	}
+	if r.as != nil {
+		r.nextTick = r.as.IntervalMs
+	}
 	if o.StreamStats {
-		sj = newStreamJoin(o, minuteMs, violated)
-		sj.denseMs = cfg.Timing.DenseMs
+		r.sj = newStreamJoin(o, minuteMs, r.violated, sketchParts)
+		r.sj.denseMs = cfg.Timing.DenseMs
 		st.recycle = true
 	}
+	return r, nil
+}
 
-	h := newCopyQueue(eventBackend)
-	var queries []openQuery
-	firstSub := []int{0}
-	cold := make([]int, plan.Nodes)
-	eff := make([]int, plan.Nodes) // arrival-scratch: cold work per effective node
-	draws := cfg.SamplesPerQuery * model.LookupsPerSample
-	var hotLookups, totalLookups int
+func (r *openRun) route(n int) int {
+	for k := 0; k < r.plan.Nodes; k++ {
+		if t := (n + k) % r.plan.Nodes; r.active[t] {
+			return t
+		}
+	}
+	return n // unreachable: the active set never empties
+}
 
-	nextArr := stream.Next()
-	q := 0
+func (r *openRun) backlog(n int, now float64) float64 {
+	if b := r.st.queues[n].EarliestFree() - now; b > 0 {
+		return b
+	}
+	return 0
+}
+
+func (r *openRun) noteActive(now float64) {
+	r.nodeMsSum += float64(r.activeCount) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// sampleRank draws one lookup's hotness rank from any generator — the
+// per-(query,table) stream for fresh lookups, a stateless profile
+// stream for profile lookups, so profile slots keep the marginal
+// hotness distribution while pinning each slot to one row.
+func (r *openRun) sampleRank(rng *stats.RNG) int {
+	switch r.st.cfg.Hotness {
+	case trace.OneItem:
+		return 0
+	case trace.RandomAccess:
+		return rng.Intn(r.plan.Model.RowsPerTable)
+	default:
+		return r.zipf.SampleWith(rng)
+	}
+}
+
+// tick runs one autoscaler control tick. Activation first, so a node
+// ready exactly at this tick serves the decisions below.
+func (r *openRun) tick(now float64) {
+	as := r.as
+	if r.pendingNode >= 0 && now >= r.pendingReady {
+		r.noteActive(now)
+		r.active[r.pendingNode] = true
+		r.activeCount++
+		r.pendingNode = -1
+	}
+	var sum float64
+	for n := range r.active {
+		if r.active[n] {
+			sum += r.backlog(n, now)
+		}
+	}
+	mean := sum / float64(r.activeCount)
+	if mean > as.UpBacklogMs && r.pendingNode < 0 && r.activeCount < as.MaxNodes {
+		// Provision the lowest-index inactive node; its queue is
+		// held shut with the outage machinery until it is warm.
+		for n := range r.active {
+			if !r.active[n] {
+				r.pendingNode = n
+				break
+			}
+		}
+		r.pendingReady = now + as.ProvisionMs
+		r.st.queues[r.pendingNode].Unavailable(r.pendingReady)
+		r.scaleUps++
+	} else if mean < as.DownBacklogMs && r.activeCount > as.MinNodes {
+		// Drain the highest-index active node: pure route-away —
+		// in-flight work completes, new work skips it.
+		for n := r.plan.Nodes - 1; n >= 0; n-- {
+			if r.active[n] {
+				r.noteActive(now)
+				r.active[n] = false
+				r.activeCount--
+				r.scaleDowns++
+				break
+			}
+		}
+	}
+	r.nextTick += as.IntervalMs
+}
+
+// drawArrival draws arrival q's lookups: cold (len Nodes, overwritten)
+// receives per-OWNER cold counts — routing through the active set
+// happens at processing time — and hot/warm are the replicated and
+// profile-warm counts. A pure function of (Seed, q, user, visit), so
+// the parallel driver pre-computes it concurrently (openparallel.go).
+func (r *openRun) drawArrival(q int, user uint64, visit int, cold []int) (hot, warm int) {
+	cfg := &r.st.cfg
+	plan := r.plan
+	model := plan.Model
+	for n := range cold {
+		cold[n] = 0
+	}
+	for t := 0; t < model.Tables; t++ {
+		rng := stats.SeededRNG(stats.SplitSeed(cfg.Seed^0x100C, uint64(q*model.Tables+t)))
+		for l := 0; l < r.draws; l++ {
+			var rk int
+			fromProfile := false
+			if r.visitors != nil && rng.Float64() < r.visitors.Affinity() {
+				slot := rng.Intn(r.visitors.ProfileSize())
+				pr := r.pop.ProfileStream(user, t, slot)
+				rk = r.sampleRank(&pr)
+				fromProfile = true
+			} else {
+				rk = r.sampleRank(&rng)
+			}
+			switch {
+			case plan.Replicated(rk):
+				hot++
+			case fromProfile && visit > 1:
+				// The user's earlier visit already pulled this
+				// profile row through the home node — warm there.
+				warm++
+			default:
+				cold[plan.Owner(t, plan.rowOfRank(t, rk))]++
+			}
+		}
+	}
+	return hot, warm
+}
+
+// processArrival handles one arrival whose lookups are already drawn:
+// route the cold work through the active set, decide admission off
+// backlogAt (the live queues sequentially; a reconstructed as-of-now
+// view under the parallel driver), and schedule the sub-request copies
+// through r.push. Advances the arrival counter q.
+func (r *openRun) processArrival(now float64, user uint64, visit int, hot, warm int, cold []int, backlogAt func(n int, now float64) float64) {
+	o := r.o
+	plan := r.plan
+	model := plan.Model
+	cfg := &r.st.cfg
+	st := r.st
+	home := r.route(int(user % uint64(plan.Nodes)))
+	// Route each owner through the active set and merge the cold
+	// work per effective node; hot and warm lookups serve at home.
+	for n := range r.eff {
+		r.eff[n] = 0
+	}
+	for n, c := range cold {
+		if c > 0 {
+			r.eff[r.route(n)] += c
+		}
+	}
+	joinSlot := -1
+	admitted := true
+	if o.Admission.Policy == ShedOverBudget {
+		worst := 0.0
+		for n, c := range r.eff {
+			if c == 0 && !(n == home && hot+warm > 0) {
+				continue
+			}
+			if b := backlogAt(n, now); b > worst {
+				worst = b
+			}
+		}
+		admitted = !o.Admission.shed(worst)
+	}
+	if r.sj != nil {
+		joinSlot = r.sj.arrival(now, admitted, visit > 1)
+	}
+	if admitted {
+		for n, c := range r.eff {
+			served := c
+			svcUs := cfg.Timing.SubRequestUs + cfg.Timing.ColdLookupUs*float64(c)
+			if n == home && hot+warm > 0 {
+				served += hot + warm
+				svcUs += cfg.Timing.HotLookupUs * float64(hot+warm)
+			}
+			if served == 0 {
+				continue
+			}
+			reqBytes := int64(4*served) + wireHeaderBytes
+			pooled := (served + model.LookupsPerSample - 1) / model.LookupsPerSample
+			respBytes := int64(pooled)*int64(model.EmbDim)*4 + wireHeaderBytes
+			before := len(st.copies)
+			idx := st.schedule(r.q, n, served, svcUs/1e3, reqBytes, respBytes, now)
+			if r.sj != nil {
+				st.subs[idx].join = joinSlot
+				r.sj.subAttached(joinSlot)
+			}
+			for _, cp := range st.copies[before:] {
+				r.push(cp)
+			}
+			st.copies = st.copies[:before]
+		}
+		if now >= o.WarmupMs {
+			r.hotLookups += hot + warm
+			r.totalLookups += hot + warm
+			for _, c := range cold {
+				r.totalLookups += c
+			}
+		}
+	}
+	if r.sj != nil {
+		r.sj.finalizeIfEmpty(joinSlot)
+	} else {
+		r.queries = append(r.queries, openQuery{arrive: now, admitted: admitted, revisit: visit > 1})
+		r.firstSub = append(r.firstSub, len(st.subs))
+	}
+	r.q++
+}
+
+// loop is the sequential driver: one event loop over the three
+// deterministic sources. Ticks precede arrivals precede copies at equal
+// instants (strict inequalities below encode the tie-break).
+func (r *openRun) loop() {
+	o := r.o
+	r.h = r.arena.copyQueueSet(1)[0]
+	r.push = r.h.Push
+	r.nextArr = r.stream.Next()
 	for {
-		// Next event: ticks precede arrivals precede copies at equal
-		// instants (strict inequalities below encode the tie-break).
 		now := math.Inf(1)
 		kind := 0 // 1 tick, 2 arrival, 3 copy
-		if nextTick <= o.DurationMs {
-			now, kind = nextTick, 1
+		if r.nextTick <= o.DurationMs {
+			now, kind = r.nextTick, 1
 		}
-		if nextArr < o.DurationMs && nextArr < now {
-			now, kind = nextArr, 2
+		if r.nextArr < o.DurationMs && r.nextArr < now {
+			now, kind = r.nextArr, 2
 		}
-		if h.Len() > 0 {
-			if min := h.Min(); min.arrive < now {
+		if r.h.Len() > 0 {
+			if min := r.h.Min(); min.arrive < now {
 				now, kind = min.arrive, 3
 			}
 		}
 		switch kind {
 		case 0:
-			goto done
+			return
 		case 1:
-			// Autoscaler control tick. Activation first, so a node ready
-			// exactly at this tick serves the decisions below.
-			if pendingNode >= 0 && now >= pendingReady {
-				noteActive(now)
-				active[pendingNode] = true
-				activeCount++
-				pendingNode = -1
-			}
-			var sum float64
-			for n := range active {
-				if active[n] {
-					sum += backlog(n, now)
-				}
-			}
-			mean := sum / float64(activeCount)
-			if mean > as.UpBacklogMs && pendingNode < 0 && activeCount < as.MaxNodes {
-				// Provision the lowest-index inactive node; its queue is
-				// held shut with the outage machinery until it is warm.
-				for n := range active {
-					if !active[n] {
-						pendingNode = n
-						break
-					}
-				}
-				pendingReady = now + as.ProvisionMs
-				st.queues[pendingNode].Unavailable(pendingReady)
-				scaleUps++
-			} else if mean < as.DownBacklogMs && activeCount > as.MinNodes {
-				// Drain the highest-index active node: pure route-away —
-				// in-flight work completes, new work skips it.
-				for n := plan.Nodes - 1; n >= 0; n-- {
-					if active[n] {
-						noteActive(now)
-						active[n] = false
-						activeCount--
-						scaleDowns++
-						break
-					}
-				}
-			}
-			nextTick += as.IntervalMs
+			r.tick(now)
 		case 2:
 			// Arrival: attribute it, draw its lookups, decide admission,
 			// and schedule its sub-request copies.
-			user, visit := uint64(q), 1
-			if visitors != nil {
-				user, visit = visitors.Next()
+			user, visit := uint64(r.q), 1
+			if r.visitors != nil {
+				user, visit = r.visitors.Next()
 			}
-			home := route(int(user % uint64(plan.Nodes)))
-			for n := range cold {
-				cold[n] = 0
-			}
-			hot, warm := 0, 0
-			for t := 0; t < model.Tables; t++ {
-				rng := stats.SeededRNG(stats.SplitSeed(cfg.Seed^0x100C, uint64(q*model.Tables+t)))
-				for l := 0; l < draws; l++ {
-					var r int
-					fromProfile := false
-					if visitors != nil && rng.Float64() < visitors.Affinity() {
-						slot := rng.Intn(visitors.ProfileSize())
-						pr := pop.ProfileStream(user, t, slot)
-						r = sample(&pr)
-						fromProfile = true
-					} else {
-						r = sample(&rng)
-					}
-					switch {
-					case plan.Replicated(r):
-						hot++
-					case fromProfile && visit > 1:
-						// The user's earlier visit already pulled this
-						// profile row through the home node — warm there.
-						warm++
-					default:
-						cold[plan.Owner(t, plan.rowOfRank(t, r))]++
-					}
-				}
-			}
-			// Route each owner through the active set and merge the cold
-			// work per effective node; hot and warm lookups serve at home.
-			for n := range eff {
-				eff[n] = 0
-			}
-			for n, c := range cold {
-				if c > 0 {
-					eff[route(n)] += c
-				}
-			}
-			joinSlot := -1
-			admitted := true
-			if o.Admission.Policy == ShedOverBudget {
-				worst := 0.0
-				for n, c := range eff {
-					if c == 0 && !(n == home && hot+warm > 0) {
-						continue
-					}
-					if b := backlog(n, now); b > worst {
-						worst = b
-					}
-				}
-				admitted = !o.Admission.shed(worst)
-			}
-			if sj != nil {
-				joinSlot = sj.arrival(now, admitted, visit > 1)
-			}
-			if admitted {
-				for n, c := range eff {
-					served := c
-					svcUs := cfg.Timing.SubRequestUs + cfg.Timing.ColdLookupUs*float64(c)
-					if n == home && hot+warm > 0 {
-						served += hot + warm
-						svcUs += cfg.Timing.HotLookupUs * float64(hot+warm)
-					}
-					if served == 0 {
-						continue
-					}
-					reqBytes := int64(4*served) + wireHeaderBytes
-					pooled := (served + model.LookupsPerSample - 1) / model.LookupsPerSample
-					respBytes := int64(pooled)*int64(model.EmbDim)*4 + wireHeaderBytes
-					before := len(st.copies)
-					idx := st.schedule(q, n, served, svcUs/1e3, reqBytes, respBytes, now)
-					if sj != nil {
-						st.subs[idx].join = joinSlot
-						sj.subAttached(joinSlot)
-					}
-					for _, cp := range st.copies[before:] {
-						h.Push(cp)
-					}
-					st.copies = st.copies[:before]
-				}
-				if now >= o.WarmupMs {
-					hotLookups += hot + warm
-					totalLookups += hot + warm
-					for _, c := range cold {
-						totalLookups += c
-					}
-				}
-			}
-			if sj != nil {
-				sj.finalizeIfEmpty(joinSlot)
-			} else {
-				queries = append(queries, openQuery{arrive: now, admitted: admitted, revisit: visit > 1})
-				firstSub = append(firstSub, len(st.subs))
-			}
-			q++
-			nextArr = stream.Next()
+			hot, warm := r.drawArrival(r.q, user, visit, r.cold)
+			r.processArrival(now, user, visit, hot, warm, r.cold, r.backlog)
+			r.nextArr = r.stream.Next()
 		case 3:
-			cp := h.Pop()
-			st.serveCopy(&cp, route(cp.node))
-			if sj != nil {
-				sj.copyDone(st, cp.sub)
+			cp := r.h.Pop()
+			r.st.serveCopy(&cp, r.route(cp.node))
+			if r.sj != nil {
+				r.sj.copyDone(r.st, cp.sub, 0)
 			}
 		}
 	}
-done:
-	noteActive(o.DurationMs)
+}
+
+// simulateOpen runs the open-loop live-traffic simulation. cfg has been
+// default-applied; cfg.Open is non-nil. The parallel execution backend
+// engages when it has partitions to run and a positive network hop to
+// hide the window barriers behind (with a free network every
+// conservative window is empty and the run stays sequential).
+func simulateOpen(cfg Config) (Result, error) {
+	parts := execParts(cfg.Plan.Nodes)
+	useParallel := parts > 1 && cfg.Net.LatencyMs > 0
+	sketchParts := 1
+	if useParallel {
+		sketchParts = parts
+	}
+	r, err := newOpenRun(cfg, sketchParts)
+	if err != nil {
+		return Result{}, err
+	}
+	if useParallel {
+		r.loopParallel(parts)
+	} else {
+		r.loop()
+	}
+	res := r.summary()
+	a := r.arena
+	a.subs, a.copies = r.st.subs, r.st.copies
+	a.queries, a.firstSub = r.queries, r.firstSub
+	a.ring, a.ringCold = r.ring, r.ringCold
+	a.release()
+	return res, nil
+}
+
+// summary folds the run into a Result — the batch join over retained
+// queries, or the stream join's accumulators — plus the fleet-level
+// accounting shared by both modes.
+func (r *openRun) summary() Result {
+	o := r.o
+	plan := r.plan
+	st := r.st
+	cfg := &st.cfg
+	sj := r.sj
+	queries, firstSub := r.queries, r.firstSub
+	violated, minuteMs := r.violated, r.minuteMs
+	hotLookups, totalLookups := r.hotLookups, r.totalLookups
+	r.noteActive(o.DurationMs)
+	nodeMsSum := r.nodeMsSum
 
 	window := o.DurationMs - o.WarmupMs
 	var pct []float64
@@ -654,9 +800,20 @@ done:
 			check.Assert(len(sj.freeJoins) == len(sj.joins),
 				"cluster: %d stream joins still open after drain", len(sj.joins)-len(sj.freeJoins))
 		}
-		pct = []float64{sj.sketch.Quantile(0.50), sj.sketch.Quantile(0.95), sj.sketch.Quantile(0.99)}
-		mean = sj.sketch.Mean()
-		nLat = int(sj.sketch.Count())
+		// Quantiles come from the merged per-partition sketches — the
+		// merge is integer bucket addition, so the result is identical
+		// whatever partition each query folded into. The mean comes from
+		// latSum, which finalize accumulates in canonical completion
+		// order in every driver, keeping it bit-for-bit reproducible.
+		merged := &sj.sketches[0]
+		for i := 1; i < len(sj.sketches); i++ {
+			merged.Merge(&sj.sketches[i])
+		}
+		pct = []float64{merged.Quantile(0.50), merged.Quantile(0.95), merged.Quantile(0.99)}
+		nLat = int(merged.Count())
+		if nLat > 0 {
+			mean = sj.latSum / float64(nLat)
+		}
 		fanoutSum, subCount = sj.fanoutSum, sj.subCount
 		hedgeCount, retryCount, fullJoins = sj.hedgeCount, sj.retryCount, sj.fullJoins
 		postArr, postShed, postRevisit, goodCount = sj.postArr, sj.postShed, sj.postRevisit, sj.goodCount
@@ -675,7 +832,10 @@ done:
 				nSamples++
 			}
 		}
-		latencies := make([]float64, 0, nSamples)
+		if cap(r.arena.latencies) < nSamples {
+			r.arena.latencies = make([]float64, 0, nSamples)
+		}
+		latencies := r.arena.latencies[:0]
 		for i, oq := range queries {
 			post := oq.arrive >= o.WarmupMs
 			if post {
@@ -752,8 +912,8 @@ done:
 		Goodput:             float64(goodCount) / (window / 1e3),
 		SLAViolationMinutes: float64(len(violated)),
 		MeanActiveNodes:     nodeMsSum / o.DurationMs,
-		ScaleUps:            scaleUps,
-		ScaleDowns:          scaleDowns,
+		ScaleUps:            r.scaleUps,
+		ScaleDowns:          r.scaleDowns,
 	}
 	// An all-shed storm leaves no admitted queries: the ratio metrics are
 	// left zero instead of dividing by zero (Percentile/Mean already
@@ -803,5 +963,5 @@ done:
 			"cluster: impossible open-loop accounting (violation minutes %g, active nodes %g)",
 			res.SLAViolationMinutes, res.MeanActiveNodes)
 	}
-	return res, nil
+	return res
 }

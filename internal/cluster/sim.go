@@ -335,6 +335,23 @@ func (s *simState) run() {
 		s.runEventq()
 		return
 	}
+	s.sortCopies()
+	prevArrive := math.Inf(-1)
+	for i := range s.copies {
+		c := &s.copies[i]
+		if check.Enabled {
+			check.Assert(c.arrive >= prevArrive && !math.IsNaN(c.arrive),
+				"cluster: copy arrivals not monotone (%g after %g)", c.arrive, prevArrive)
+			prevArrive = c.arrive
+		}
+		s.serveCopy(c, c.node)
+	}
+}
+
+// sortCopies establishes the canonical (arrive, seq, attempt) total
+// order in place — no two copies share a (seq, attempt) pair, so the
+// unstable sort is deterministic.
+func (s *simState) sortCopies() {
 	slices.SortFunc(s.copies, func(a, b subCopy) int {
 		switch {
 		case a.arrive < b.arrive:
@@ -347,16 +364,6 @@ func (s *simState) run() {
 			return a.attempt - b.attempt
 		}
 	})
-	prevArrive := math.Inf(-1)
-	for i := range s.copies {
-		c := &s.copies[i]
-		if check.Enabled {
-			check.Assert(c.arrive >= prevArrive && !math.IsNaN(c.arrive),
-				"cluster: copy arrivals not monotone (%g after %g)", c.arrive, prevArrive)
-			prevArrive = c.arrive
-		}
-		s.serveCopy(c, c.node)
-	}
 }
 
 // runEventq is run()'s forced-backend variant: the copies drain through
@@ -492,13 +499,11 @@ func Simulate(cfg Config) (Result, error) {
 	}
 	plan := cfg.Plan
 	model := plan.Model
+	a := acquireArena()
 	st := &simState{
 		cfg:    cfg,
 		plan:   plan,
-		queues: make([]*serve.Queue, plan.Nodes),
-	}
-	for n := range st.queues {
-		st.queues[n] = serve.NewQueue(cfg.ServersPerNode)
+		queues: a.queueSet(plan.Nodes, cfg.ServersPerNode),
 	}
 	if cfg.Faults.Active() {
 		st.faults = newFaultState(cfg.Faults, cfg.Seed, plan.Nodes)
@@ -513,16 +518,25 @@ func Simulate(cfg Config) (Result, error) {
 	if cfg.Mitigation.TimeoutMs > 0 {
 		copiesPerSub += cfg.Mitigation.MaxRetries
 	}
-	st.subs = make([]subState, 0, cfg.Queries)
-	st.copies = make([]subCopy, 0, cfg.Queries*copiesPerSub)
+	if cap(a.subs) < cfg.Queries {
+		a.subs = make([]subState, 0, cfg.Queries)
+	}
+	if cap(a.copies) < cfg.Queries*copiesPerSub {
+		a.copies = make([]subCopy, 0, cfg.Queries*copiesPerSub)
+	}
+	st.subs = a.subs[:0]
+	st.copies = a.copies[:0]
 	arrivals := stats.NewRNG(stats.SplitSeed(cfg.Seed^0xA221, 0))
 
 	// Phase 1: draw each query's arrival and lookups, split them by the
 	// plan, and schedule every sub-request copy the router might launch.
-	cold := make([]int, plan.Nodes) // per-node shard-owned lookups of the current query
-	nows := make([]float64, cfg.Queries)
-	firstSub := make([]int, cfg.Queries+1)
-	latencies := make([]float64, 0, cfg.Queries-cfg.WarmupQueries)
+	cold := arenaInts(&a.cold, plan.Nodes) // per-node shard-owned lookups of the current query (drawQuery zeroes)
+	nows := arenaFloats(&a.nows, cfg.Queries)
+	firstSub := arenaInts(&a.firstSub, cfg.Queries+1)
+	if cap(a.latencies) < cfg.Queries-cfg.WarmupQueries {
+		a.latencies = make([]float64, 0, cfg.Queries-cfg.WarmupQueries)
+	}
+	latencies := a.latencies[:0]
 	var now, simEnd float64
 	var fanoutSum, hotLookups, totalLookups int
 	var subCount, hedgeCount, retryCount, fullJoins int
@@ -540,41 +554,37 @@ func Simulate(cfg Config) (Result, error) {
 		zipf = stats.NewSharedZipf(model.RowsPerTable, cfg.Hotness.ReferenceExponent())
 	}
 
+	// Under the parallel backend, phase 1's draws — the bulk of its cost
+	// — pre-compute concurrently; the arrival stream and copy scheduling
+	// below stay sequential (they are cheap and stateful).
+	parts := execParts(plan.Nodes)
+	useParallel := parts > 1 && st.parallelizable()
+	var preHot, preCold []int
 	draws := cfg.SamplesPerQuery * model.LookupsPerSample
+	if useParallel {
+		preHot = arenaInts(&a.preHot, cfg.Queries)
+		preCold = arenaInts(&a.preCold, cfg.Queries*plan.Nodes)
+		st.predrawQueries(zipf, draws, cfg.Queries, parts, preHot, preCold)
+	}
 	for q := 0; q < cfg.Queries; q++ {
 		now += arrivals.ExpFloat64() * cfg.MeanArrivalMs
 		nows[q] = now
 		firstSub[q] = len(st.subs)
 		home := q % plan.Nodes
-		for n := range cold {
-			cold[n] = 0
-		}
-		hot := 0
-		for t := 0; t < model.Tables; t++ {
-			rng := stats.SeededRNG(stats.SplitSeed(cfg.Seed^0x100C, uint64(q*model.Tables+t)))
-			for l := 0; l < draws; l++ {
-				var r int
-				switch cfg.Hotness {
-				case trace.OneItem:
-					// rank 0, the single hot row
-				case trace.RandomAccess:
-					r = rng.Intn(model.RowsPerTable)
-				default:
-					r = zipf.SampleWith(&rng)
-				}
-				if plan.Replicated(r) {
-					hot++
-				} else {
-					cold[plan.Owner(t, plan.rowOfRank(t, r))]++
-				}
-			}
+		var hot int
+		coldq := cold
+		if preCold != nil {
+			hot = preHot[q]
+			coldq = preCold[q*plan.Nodes : (q+1)*plan.Nodes]
+		} else {
+			hot = st.drawQuery(zipf, draws, q, coldq)
 		}
 
 		// Fan out: one sub-request per involved node, with a network hop
 		// and message transfer each way.
 		for n := 0; n < plan.Nodes; n++ {
-			served := cold[n]
-			svcUs := cfg.Timing.SubRequestUs + cfg.Timing.ColdLookupUs*float64(cold[n])
+			served := coldq[n]
+			svcUs := cfg.Timing.SubRequestUs + cfg.Timing.ColdLookupUs*float64(coldq[n])
 			if n == home && hot > 0 {
 				served += hot
 				svcUs += cfg.Timing.HotLookupUs * float64(hot)
@@ -592,15 +602,21 @@ func Simulate(cfg Config) (Result, error) {
 		if q >= cfg.WarmupQueries {
 			hotLookups += hot
 			totalLookups += hot
-			for _, c := range cold {
+			for _, c := range coldq {
 				totalLookups += c
 			}
 		}
 	}
 	firstSub[cfg.Queries] = len(st.subs)
 
-	// Phase 2: serve every copy in node-arrival order, FCFS per node.
-	st.run()
+	// Phase 2: serve every copy in node-arrival order, FCFS per node —
+	// partitioned across conservative windows under the parallel backend,
+	// one goroutine otherwise.
+	if useParallel {
+		st.runParallel(parts, a.partScratchSet(parts))
+	} else {
+		st.run()
+	}
 
 	// Phase 3: join each query on its slowest surviving sub-request (or,
 	// degraded, on the deadline the router abandons the slowest shard at),
@@ -688,6 +704,8 @@ func Simulate(cfg Config) (Result, error) {
 			"cluster: non-finite latency summary (p50 %g, p99 %g, mean %g, util %g)",
 			res.P50, res.P99, res.Mean, res.Utilization)
 	}
+	a.subs, a.copies, a.latencies = st.subs, st.copies, latencies
+	a.release()
 	return res, nil
 }
 

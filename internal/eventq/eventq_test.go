@@ -220,3 +220,65 @@ func TestNewWheelValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestWheelResetReuse: a Reset wheel must behave exactly like a fresh
+// NewWheel at the new start time — including after a partial drain that
+// left events in the ring, the overflow area, and a half-consumed
+// in-drain bucket — and steady-state reuse must not allocate.
+func TestWheelResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := NewWheel(0.5, 8, 0, evTime, evLess)
+	for round := 0; round < 4; round++ {
+		start := float64(round * 1000)
+		w.Reset(start)
+		events := randomEvents(rng, 200)
+		for i := range events {
+			events[i].t += start
+		}
+		for _, e := range events {
+			w.Push(e)
+		}
+		// Drain only half on odd rounds so Reset must clear mid-drain
+		// bucket state and a non-empty overflow.
+		want := slices.Clone(events)
+		slices.SortFunc(want, evCmp)
+		n := len(want)
+		if round%2 == 1 {
+			n /= 2
+		}
+		for i := 0; i < n; i++ {
+			if got := w.Pop(); got != want[i] {
+				t.Fatalf("round %d pop[%d] = %+v, want %+v", round, i, got, want[i])
+			}
+		}
+	}
+	// After the rounds grew every bucket, a full reuse cycle is
+	// allocation-free.
+	events := randomEvents(rng, 100)
+	allocs := testing.AllocsPerRun(20, func() {
+		w.Reset(0)
+		for _, e := range events {
+			w.Push(e)
+		}
+		for w.Len() > 0 {
+			w.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reused wheel allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestWheelResetClearsMonotoneContract: Reset must forget the popped
+// high-water mark, or a rebased wheel would panic on legitimately
+// earlier times.
+func TestWheelResetClearsMonotoneContract(t *testing.T) {
+	w := NewWheel(1.0, 4, 100, evTime, evLess)
+	w.Push(ev{t: 500})
+	w.Pop()
+	w.Reset(0)
+	w.Push(ev{t: 1}) // earlier than the popped 500: legal after Reset
+	if got := w.Pop(); got.t != 1 {
+		t.Fatalf("popped %+v", got)
+	}
+}

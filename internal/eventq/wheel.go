@@ -66,6 +66,33 @@ func NewWheel[T any](width float64, buckets int, start float64, time func(T) flo
 // Len returns the number of queued events.
 func (w *Wheel[T]) Len() int { return w.ringLen + len(w.overNew) }
 
+// Reset empties the wheel and rebases it at time start, keeping every
+// bucket's capacity — the arena-reuse hook for per-run (and, in the
+// parallel cluster backend, per-partition) wheel recycling. Elements
+// are zeroed so a reused wheel retains no references.
+func (w *Wheel[T]) Reset(start float64) {
+	var zero T
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		for j := range b.events {
+			b.events[j] = zero
+		}
+		b.events = b.events[:0]
+		b.head = 0
+		b.sorted = false
+	}
+	for i := range w.overNew {
+		w.overNew[i] = zero
+	}
+	w.overNew = w.overNew[:0]
+	w.ringLen = 0
+	w.origin = start
+	w.curAbs = 0
+	w.horizon = int64(len(w.buckets))
+	w.maxPopped = 0
+	w.popped = false
+}
+
 func (w *Wheel[T]) absIndex(t float64) int64 {
 	i := int64(math.Floor((t - w.origin) / w.width))
 	if i < w.curAbs {

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"dlrmsim/internal/cluster"
 	"dlrmsim/internal/core"
 	"dlrmsim/internal/dlrm"
 	"dlrmsim/internal/trace"
@@ -136,6 +137,64 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 			t.Errorf("workers=%d: resume re-simulated everything (stats %+v) despite %d stored cells",
 				workers, s, partial)
 		}
+	}
+}
+
+// TestCheckpointResumeParallelBackendIndependent: checkpoint cell keys
+// hash the experiment's design point, not the execution strategy — so a
+// sweep killed mid-run under the sequential backend must resume under
+// the parallel backend (the -resume + -shard-workers path) serving the
+// stored cells as hits and rendering bytes identical to an
+// uninterrupted sequential run. This pins both halves of the
+// contract: keys are backend-independent, and so are the recomputed
+// cells the resumed run fills in.
+func TestCheckpointResumeParallelBackendIndependent(t *testing.T) {
+	clean, err := RunAll(context.Background(), tinyContext(), ckptIDs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, clean)
+
+	dir := t.TempDir()
+
+	// Phase 1: sequential run, killed once at least two cells committed.
+	cp := openTestCheckpoint(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for cp.Stats().Writes < 2 {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		cancel()
+	}()
+	_, err = RunAll(ctx, tinyContext().WithCheckpoint(cp), ckptIDs, 1)
+	cancel()
+	<-done
+	partial := cp.Stats().Writes
+	if err == nil && partial < 2 {
+		t.Fatalf("uninterrupted run wrote %d cells", partial)
+	}
+	cp.Close()
+
+	// Phase 2: resume the same directory under the parallel backend.
+	restore := cluster.SetExecBackend(cluster.Parallel(4))
+	defer restore()
+	cp2 := openTestCheckpoint(t, dir)
+	tables, err := RunAll(context.Background(), tinyContext().WithCheckpoint(cp2), ckptIDs, 8)
+	if err != nil {
+		t.Fatalf("parallel resume failed: %v", err)
+	}
+	if got := renderAll(t, tables); !bytes.Equal(got, want) {
+		t.Errorf("parallel-resumed tables differ from sequential run\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if s := cp2.Stats(); partial > 0 && s.Hits == 0 {
+		t.Errorf("parallel resume re-simulated everything (stats %+v) despite %d sequential cells", s, partial)
 	}
 }
 

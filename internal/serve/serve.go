@@ -170,6 +170,25 @@ func (q *Queue) Unavailable(until float64) {
 	}
 }
 
+// Reset returns the queue to the empty state NewQueue(servers) would
+// produce, reusing the server slice when its capacity allows — the
+// arena-reuse hook internal/cluster pools per-run queues through. It
+// panics if servers < 1, matching NewQueue.
+func (q *Queue) Reset(servers int) {
+	if servers < 1 {
+		panic(fmt.Sprintf("serve: Queue.Reset with %d servers", servers))
+	}
+	if cap(q.free) >= servers {
+		q.free = q.free[:servers]
+		for s := range q.free {
+			q.free[s] = 0
+		}
+	} else {
+		q.free = make([]float64, servers)
+	}
+	q.busy = 0
+}
+
 // Servers returns the queue's server count.
 func (q *Queue) Servers() int { return len(q.free) }
 

@@ -377,3 +377,42 @@ func TestPercentileOrdering(t *testing.T) {
 		t.Fatal("missing mean")
 	}
 }
+
+// TestQueueReset: a Reset queue must be indistinguishable from a fresh
+// NewQueue — same Submit results, zero busy time — whether the server
+// count shrinks, grows within capacity, or grows past it.
+func TestQueueReset(t *testing.T) {
+	q := NewQueue(4)
+	q.Submit(0, 10)
+	q.Submit(0, 10)
+	q.Unavailable(50)
+	for _, servers := range []int{4, 2, 8} {
+		q.Reset(servers)
+		if q.Servers() != servers || q.BusyMs() != 0 {
+			t.Fatalf("after Reset(%d): servers %d busy %g", servers, q.Servers(), q.BusyMs())
+		}
+		fresh := NewQueue(servers)
+		for i := 0; i < 3; i++ {
+			arrival := float64(i) * 0.5
+			gs, gd := q.Submit(arrival, 2)
+			ws, wd := fresh.Submit(arrival, 2)
+			if gs != ws || gd != wd {
+				t.Fatalf("Reset(%d) submit %d: (%g,%g) vs fresh (%g,%g)", servers, i, gs, gd, ws, wd)
+			}
+		}
+	}
+	// Reuse within capacity is allocation-free.
+	allocs := testing.AllocsPerRun(20, func() { q.Reset(8) })
+	if allocs != 0 {
+		t.Fatalf("Reset allocated %.1f times, want 0", allocs)
+	}
+}
+
+func TestQueueResetPanicsOnZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset(0) did not panic")
+		}
+	}()
+	NewQueue(1).Reset(0)
+}
