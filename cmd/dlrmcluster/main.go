@@ -36,6 +36,13 @@ type mainFlags struct {
 	arrival, util, netLat, netBW                 float64
 	shardWorkers                                 int
 
+	// Chaos schedule and adaptive overload control (both loop modes).
+	chaos                        string
+	domains                      int
+	retryBudget, adaptEpoch      float64
+	breakerTrip, breakerCooldown float64
+	breakerMin                   int
+
 	// Open-loop live-traffic mode (-open).
 	open                              bool
 	streamStats                       bool
@@ -92,6 +99,27 @@ func (o mainFlags) validate(isSet func(string) bool) error {
 	}
 	if o.netLat < 0 || o.netBW < 0 {
 		errs = append(errs, fmt.Errorf("negative network parameters (-netlat %g, -netbw %g)", o.netLat, o.netBW))
+	}
+	// Chaos and adaptive-mitigation gating applies in both loop modes.
+	if o.chaos == "" {
+		if isSet("domains") {
+			errs = append(errs, fmt.Errorf("-domains needs -chaos"))
+		}
+	} else if _, err := o.chaosSchedule(); err != nil {
+		errs = append(errs, err)
+	}
+	if o.domains < 0 {
+		errs = append(errs, fmt.Errorf("-domains %d (want >= 0; 0 = one domain per node)", o.domains))
+	}
+	if o.breakerTrip == 0 {
+		for _, name := range []string{"breaker-min", "breaker-cooldown"} {
+			if isSet(name) {
+				errs = append(errs, fmt.Errorf("-%s needs -breaker-trip", name))
+			}
+		}
+	}
+	if o.retryBudget == 0 && o.breakerTrip == 0 && isSet("adapt-epoch") {
+		errs = append(errs, fmt.Errorf("-adapt-epoch needs -retry-budget or -breaker-trip"))
 	}
 	if !o.open {
 		for _, name := range openOnlyFlags {
@@ -157,6 +185,17 @@ func (o mainFlags) validate(isSet func(string) bool) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// chaosSchedule parses the -chaos spec and stamps -domains into it; the
+// cluster tier validates the assembled schedule against the node count.
+func (o mainFlags) chaosSchedule() (cluster.ChaosSchedule, error) {
+	sched, err := cluster.ParseChaosSchedule(o.chaos)
+	if err != nil {
+		return cluster.ChaosSchedule{}, err
+	}
+	sched.Domains = o.domains
+	return sched, nil
 }
 
 // openLoop assembles the cluster.OpenLoop config from resolved flags
@@ -249,6 +288,14 @@ func main() {
 	flag.Float64Var(&o.util, "util", 0.55, "target per-node utilization when -arrival/-rate is 0 (may exceed 1 with -open)")
 	flag.Float64Var(&o.netLat, "netlat", 0.05, "one-way network latency per message (ms)")
 	flag.Float64Var(&o.netBW, "netbw", 10, "per-link network bandwidth (GB/s)")
+
+	flag.StringVar(&o.chaos, "chaos", "", `deterministic chaos schedule, e.g. "down:dom=2,at=200,for=150;part:a=0,b=1,at=400,for=100" (kinds: down, slow [x=factor], part [a=,b=], recover; times in ms)`)
+	flag.IntVar(&o.domains, "domains", 0, "failure-domain count for -chaos (0 = one domain per node)")
+	flag.Float64Var(&o.retryBudget, "retry-budget", 0, "cap retries+hedges at this fraction of served primary traffic (0 = uncapped)")
+	flag.Float64Var(&o.adaptEpoch, "adapt-epoch", 0, "adaptive-mitigation control epoch in ms (0 = derive from timeout/hedge delay)")
+	flag.Float64Var(&o.breakerTrip, "breaker-trip", 0, "open a node's circuit breaker at this windowed timeout rate in (0,1] (0 = no breakers)")
+	flag.IntVar(&o.breakerMin, "breaker-min", 0, "min per-epoch samples before a breaker may trip (0 = 10)")
+	flag.Float64Var(&o.breakerCooldown, "breaker-cooldown", 0, "ms an open breaker waits before half-open probing (0 = 4 epochs)")
 
 	flag.BoolVar(&o.open, "open", false, "open-loop live-traffic mode: arrivals come from a generated stream, not a closed query count")
 	flag.BoolVar(&o.streamStats, "stream-stats", false, "open-loop: fixed-memory streaming percentile sketches instead of exact nearest-rank (long runs; summaries differ within sketch error)")
@@ -356,12 +403,24 @@ func main() {
 			DropDetectMs:    *dropDetect,
 		},
 		Mitigation: cluster.Mitigation{
-			TimeoutMs:    *timeoutMs,
-			MaxRetries:   *retries,
-			HedgeDelayMs: *hedge,
-			DegradedJoin: *degraded,
+			TimeoutMs:         *timeoutMs,
+			MaxRetries:        *retries,
+			HedgeDelayMs:      *hedge,
+			DegradedJoin:      *degraded,
+			RetryBudget:       o.retryBudget,
+			AdaptEpochMs:      o.adaptEpoch,
+			BreakerTripRate:   o.breakerTrip,
+			BreakerMinSamples: o.breakerMin,
+			BreakerCooldownMs: o.breakerCooldown,
 		},
 		Seed: *seed,
+	}
+	if o.chaos != "" {
+		sched, err := o.chaosSchedule()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Chaos = sched
 	}
 	if o.open {
 		// Resolve the derive-from-load defaults now that the service model
@@ -439,6 +498,22 @@ func main() {
 			fmt.Printf("mitigation: none (naive router waits out every fault)\n")
 		}
 	}
+	if cfg.Chaos.Active() {
+		doms := cfg.Chaos.Domains
+		if doms == 0 {
+			doms = o.nodes
+		}
+		fmt.Printf("chaos: %d failure domains, schedule %s\n", doms, cfg.Chaos.String())
+		if !faulted && cfg.Mitigation.Active() {
+			fmt.Printf("mitigation: timeout %g ms × %d retries, hedge %g ms, degraded joins %v\n",
+				cfg.Mitigation.TimeoutMs, cfg.Mitigation.MaxRetries, cfg.Mitigation.HedgeDelayMs,
+				cfg.Mitigation.DegradedJoin)
+		}
+	}
+	if m := cfg.Mitigation; m.RetryBudget > 0 || m.BreakerTripRate > 0 {
+		fmt.Printf("adaptive: retry budget %g of primaries, breaker trip %g (min %d samples, cooldown %g ms), epoch %g ms\n",
+			m.RetryBudget, m.BreakerTripRate, m.BreakerMinSamples, m.BreakerCooldownMs, m.AdaptEpochMs)
+	}
 	fmt.Println()
 
 	points, err := cluster.SweepReplication(cfg, fractions)
@@ -447,10 +522,14 @@ func main() {
 	}
 	if o.open {
 		autoscaled := cfg.Open.Autoscale != nil
+		chaosed := cfg.Chaos.Active()
 		fmt.Printf("%-10s %-8s %11s %7s %11s %9s %9s %6s %9s",
 			"replicate", "local %", "offered", "shed %", "goodput", "p95 (ms)", "p99 (ms)", "util", "viol min")
 		if autoscaled {
 			fmt.Printf(" %6s %4s %5s", "nodes", "ups", "downs")
+		}
+		if chaosed {
+			fmt.Printf(" %9s %7s %6s %8s", "ttr (ms)", "avail %", "amp", "brk min")
 		}
 		fmt.Println()
 		for _, p := range points {
@@ -460,6 +539,14 @@ func main() {
 				r.P95, r.P99, 100*r.Utilization, r.SLAViolationMinutes)
 			if autoscaled {
 				fmt.Printf(" %6.2f %4d %5d", r.MeanActiveNodes, r.ScaleUps, r.ScaleDowns)
+			}
+			if chaosed {
+				ttr := "never"
+				if r.TimeToRecoverMs >= 0 {
+					ttr = fmt.Sprintf("%.0f", r.TimeToRecoverMs)
+				}
+				fmt.Printf(" %9s %6.1f%% %6.2f %8.2f", ttr, 100*r.DomainAvailability,
+					r.RetryAmplification, r.BreakerOpenMinutes)
 			}
 			fmt.Println()
 		}

@@ -56,6 +56,13 @@ func TestValidateBadInputs(t *testing.T) {
 		{"revisit without users", func(o *mainFlags) { o.open = true; o.revisit = 0.9 }, []string{"revisit"}, "-revisit needs -users"},
 		{"scale-up without autoscaler", func(o *mainFlags) { o.open = true; o.scaleUp = 1 }, []string{"scale-up"}, "-scale-up needs -scale-every"},
 		{"max-nodes without autoscaler", func(o *mainFlags) { o.open = true; o.maxNodes = 4 }, []string{"max-nodes"}, "-max-nodes needs -scale-every"},
+		{"domains without chaos", func(o *mainFlags) { o.domains = 4 }, []string{"domains"}, "-domains needs -chaos"},
+		{"negative domains", func(o *mainFlags) { o.chaos = "down:dom=0,at=1,for=1"; o.domains = -2 }, nil, "-domains -2"},
+		{"unparseable chaos spec", func(o *mainFlags) { o.chaos = "explode:dom=0,at=1" }, nil, "unknown chaos event kind"},
+		{"chaos bad value", func(o *mainFlags) { o.chaos = "down:dom=zero,at=1,for=1" }, nil, `value "zero"`},
+		{"breaker-min without trip", func(o *mainFlags) { o.breakerMin = 5 }, []string{"breaker-min"}, "-breaker-min needs -breaker-trip"},
+		{"breaker-cooldown without trip", func(o *mainFlags) { o.breakerCooldown = 8 }, []string{"breaker-cooldown"}, "-breaker-cooldown needs -breaker-trip"},
+		{"adapt-epoch without adaptive", func(o *mainFlags) { o.adaptEpoch = 5 }, []string{"adapt-epoch"}, "-adapt-epoch needs -retry-budget or -breaker-trip"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -98,6 +105,17 @@ func TestValidateGoodInputs(t *testing.T) {
 			o.admitBudget = 0.5
 			o.startNodes = 4
 			o.scaleEvery, o.scaleUp, o.scaleDown = 1, 0.5, 0.05
+		}},
+		{"chaos with adaptive mitigation", func(o *mainFlags) {
+			o.chaos = "down:dom=2,at=200,for=150;part:a=0,b=1,at=400,for=100"
+			o.domains = 4
+			o.retryBudget, o.adaptEpoch = 0.25, 8
+			o.breakerTrip, o.breakerMin, o.breakerCooldown = 0.5, 4, 32
+		}},
+		{"open chaos", func(o *mainFlags) {
+			o.open = true
+			o.chaos = "slow:dom=0,at=10,for=50,x=4;recover:dom=0,at=30"
+			o.retryBudget = 0.2
 		}},
 	}
 	for _, tc := range cases {
@@ -177,6 +195,28 @@ func TestOpenLoopAssembly(t *testing.T) {
 	o.admit = "lifo"
 	if _, err := o.openLoop(); err == nil {
 		t.Fatal("accepted unknown admission policy")
+	}
+}
+
+// TestChaosScheduleFlag: -chaos parses through the cluster grammar and
+// -domains is stamped into the schedule the config will carry.
+func TestChaosScheduleFlag(t *testing.T) {
+	o := goodFlags()
+	o.chaos = "down:dom=1,at=200,for=150;recover:dom=1,at=300"
+	o.domains = 2
+	sched, err := o.chaosSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Domains != 2 || len(sched.Events) != 2 {
+		t.Fatalf("schedule = %+v", sched)
+	}
+	if sched.Events[0].Kind != cluster.DomainOutage || sched.Events[1].Kind != cluster.Recover {
+		t.Fatalf("events = %+v", sched.Events)
+	}
+	o.chaos = "down:dom=1"
+	if _, err := o.chaosSchedule(); err == nil {
+		t.Fatal("accepted an outage with no window")
 	}
 }
 

@@ -55,6 +55,14 @@ type runArena struct {
 	efStart  []float64
 	efHist   [][]efEntry
 
+	// Robustness-tier state (chaos.go, adapt.go): held by value so the
+	// per-node and per-window slices inside recycle with the arena, and
+	// the recovery-observability minute buckets.
+	chaosSt chaosState
+	adaptSt adaptState
+	ttrArr  []int
+	ttrGood []int
+
 	// Recycled event-queue instances (the wheel's 4096 buckets dominate
 	// the open loop's fixed cost), valid only for the backend they were
 	// built under.
@@ -89,23 +97,43 @@ func (a *runArena) release() {
 	arenaMu.Unlock()
 }
 
-// arenaInts returns (*buf)[:n] with fresh capacity when needed. The
+// arenaSlice returns (*buf)[:n] with fresh capacity when needed. The
 // contents are UNSPECIFIED — callers must overwrite before reading.
-func arenaInts(buf *[]int, n int) []int {
+func arenaSlice[T any](buf *[]T, n int) []T {
 	if cap(*buf) < n {
-		*buf = make([]int, n)
+		*buf = make([]T, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf
 }
 
-// arenaFloats is arenaInts for float64 buffers. Contents unspecified.
-func arenaFloats(buf *[]float64, n int) []float64 {
-	if cap(*buf) < n {
-		*buf = make([]float64, n)
+// arenaInts and arenaFloats are arenaSlice's historical spellings.
+func arenaInts(buf *[]int, n int) []int           { return arenaSlice(buf, n) }
+func arenaFloats(buf *[]float64, n int) []float64 { return arenaSlice(buf, n) }
+
+// chaosFor materializes a chaos schedule into the arena's recycled
+// chaos state.
+func (a *runArena) chaosFor(sched *ChaosSchedule, nodes int) *chaosState {
+	a.chaosSt.init(sched, nodes)
+	return &a.chaosSt
+}
+
+// adaptFor resets the arena's recycled adaptive-mitigation state for a
+// default-applied policy.
+func (a *runArena) adaptFor(m *Mitigation, nodes int) *adaptState {
+	a.adaptSt.init(m, nodes)
+	return &a.adaptSt
+}
+
+// ttrBuckets returns zeroed arrival/goodput minute buckets for the
+// recovery-time scan.
+func (a *runArena) ttrBuckets(n int) (arr, good []int) {
+	arr = arenaSlice(&a.ttrArr, n)
+	good = arenaSlice(&a.ttrGood, n)
+	for i := 0; i < n; i++ {
+		arr[i], good[i] = 0, 0
 	}
-	*buf = (*buf)[:n]
-	return *buf
+	return arr, good
 }
 
 // queueSet returns plan-sized per-node FCFS queues, recycling queue
@@ -141,6 +169,7 @@ func (a *runArena) partScratchSet(parts int) []partScratch {
 		ps.copies = ps.copies[:0]
 		ps.deltas = ps.deltas[:0]
 		ps.maxWait = 0
+		ps.pendPrim, ps.pendCond, ps.maxT = 0, 0, 0
 	}
 	return a.scratch
 }

@@ -85,6 +85,11 @@ func BenchmarkOpenLoopParallel(b *testing.B) {
 			cfg := openBenchConfig(b)
 			restore := SetExecBackend(Parallel(p))
 			defer restore()
+			// One untimed run seeds the arena free list so allocs/op
+			// reports the steady state, not one-time pool growth.
+			if _, err := Simulate(cfg); err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -93,6 +98,85 @@ func BenchmarkOpenLoopParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// chaosBenchConfig layers the robustness tier onto the open-loop day:
+// a scheduled single-domain outage mid-day plus the full adaptive
+// mitigation stack (retry budget and per-node circuit breakers), the
+// configuration the chaos experiments (clu8/clu9) run.
+func chaosBenchConfig(tb testing.TB) Config {
+	tb.Helper()
+	cfg := openBenchConfig(tb)
+	cfg.Mitigation = Mitigation{
+		TimeoutMs: 2, MaxRetries: 2,
+		RetryBudget: 0.1, AdaptEpochMs: 4,
+		BreakerTripRate: 0.5, BreakerMinSamples: 4,
+	}
+	cfg.Chaos = ChaosSchedule{
+		Domains: 4,
+		Events: []ChaosEvent{
+			{Kind: DomainOutage, Domain: 2, AtMs: 1000, ForMs: 500},
+		},
+	}
+	return cfg
+}
+
+// BenchmarkChaosOpenLoop measures the open-loop day with an active chaos
+// schedule and adaptive overload control — the cost of the robustness
+// tier on top of BenchmarkOpenLoopParallel's steady day. Byte-identical
+// output at every P, so the p1/p4 pair is a pure execution-cost curve.
+func BenchmarkChaosOpenLoop(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			cfg := chaosBenchConfig(b)
+			restore := SetExecBackend(Parallel(p))
+			defer restore()
+			// Untimed warmup: steady-state allocs/op, as above.
+			if _, err := Simulate(cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosOpenLoopAllocsSteadyState extends the arena's steady-state
+// allocation guard to the robustness tier: once a warmup run has seeded
+// the free list, an open-loop run with an active chaos schedule, retry
+// budget, and breakers must reuse the recycled chaos/adaptive state
+// rather than re-allocating it per run. Uses the small open fixture
+// (not the day-scale bench config, whose population and stream-stats
+// state dominates) so the bound isolates the chaos/adaptive layer.
+func TestChaosOpenLoopAllocsSteadyState(t *testing.T) {
+	cfg := openTestConfig(t, 4, &OpenLoop{
+		Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.5)},
+		DurationMs: 300,
+		SLAMs:      50,
+	})
+	cfg.Mitigation = Mitigation{
+		TimeoutMs: 2, MaxRetries: 2,
+		RetryBudget: 0.1, AdaptEpochMs: 4,
+		BreakerTripRate: 0.5, BreakerMinSamples: 4,
+	}
+	cfg.Chaos = ChaosSchedule{
+		Domains: 4,
+		Events: []ChaosEvent{
+			{Kind: DomainOutage, Domain: 2, AtMs: 80, ForMs: 60},
+			{Kind: DomainSlowdown, Domain: 0, AtMs: 150, ForMs: 50, Factor: 3},
+		},
+	}
+	if _, err := Simulate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(5, func() { Simulate(cfg) }); allocs > 16 {
+		t.Errorf("chaos open-loop Simulate allocates %.0f objects/run in steady state, want <= 16", allocs)
 	}
 }
 

@@ -142,6 +142,14 @@ type partScratch struct {
 	copies  []subCopy   // this partition's canonical-order subsequence
 	deltas  []copyDelta // deferred sub-state updates
 	maxWait float64     // deferred post-warmup queue-wait high-water mark
+
+	// Deferred adaptive-mitigation observations (adapt.go): integer
+	// primary/conditional launch counts (commutative-exact sums) and the
+	// partition's max processed-copy arrival (float max), folded into
+	// adaptState at the barrier. Per-node attempt/slow counts skip the
+	// scratch — each node is owned by one partition per window.
+	pendPrim, pendCond int64
+	maxT               float64
 }
 
 // efEntry records a node's earliest-free instant right after one copy
@@ -161,9 +169,16 @@ type efEntry struct {
 // appended to its history. Must be called in canonical (arrive, seq,
 // attempt) order per node.
 func (s *simState) serveCopyDeferred(c *subCopy, node int, ps *partScratch, efHist [][]efEntry) {
+	ad := s.adapt
+	if ad != nil && c.arrive > ps.maxT {
+		ps.maxT = c.arrive
+	}
 	sub := &s.subs[c.sub]
 	if c.kind != copyPrimary && sub.best <= c.launch {
 		return // a response arrived before this deadline; never sent
+	}
+	if ad != nil && c.kind != copyPrimary && !ad.allowCond(node) {
+		return // suppressed by budget or breaker: never launched (see serveCopy)
 	}
 	d := copyDelta{sub: c.sub}
 	switch c.kind {
@@ -175,8 +190,12 @@ func (s *simState) serveCopyDeferred(c *subCopy, node int, ps *partScratch, efHi
 	d.retries += int32(c.resends)
 	cfg := &s.cfg
 	s.faults.applyOutages(node, c.arrive, s.queues[node])
+	s.chaos.applyOutages(node, c.arrive, s.queues[node])
 	svc := sub.svcMs
 	if f := s.faults.slowFactor(node, c.arrive); f != 1 {
+		svc *= f
+	}
+	if f := s.chaos.slowFactor(node, c.arrive); f != 1 {
 		svc *= f
 	}
 	if cfg.JitterFrac > 0 {
@@ -197,6 +216,9 @@ func (s *simState) serveCopyDeferred(c *subCopy, node int, ps *partScratch, efHi
 	}
 	d.back = done + cfg.Net.LatencyMs + cfg.Net.TransferMs(sub.respBytes)
 	ps.deltas = append(ps.deltas, d)
+	if ad != nil {
+		ad.observe(node, c.kind, d.back-c.launch, &ps.pendPrim, &ps.pendCond)
+	}
 	if efHist != nil {
 		efHist[node] = append(efHist[node], efEntry{arrive: c.arrive, ef: s.queues[node].EarliestFree()})
 	}
@@ -224,6 +246,15 @@ func (s *simState) applyDeltas(scratch []partScratch) {
 			s.maxWait = ps.maxWait
 		}
 		ps.maxWait = 0
+		if ad := s.adapt; ad != nil {
+			ad.pendPrim += ps.pendPrim
+			ad.pendCond += ps.pendCond
+			ps.pendPrim, ps.pendCond = 0, 0
+			if ps.maxT > ad.lastT {
+				ad.lastT = ps.maxT
+			}
+			ps.maxT = 0
+		}
 	}
 }
 

@@ -18,9 +18,11 @@ func forceFanOut(t *testing.T) {
 }
 
 // execConfigs spans the closed-loop behavior space the parallel backend
-// must reproduce bitwise: the plain path, the fault-injected path, and
-// each conditional-copy mitigation (hedging and timeout retries) whose
-// suppression logic the conservative windows defer.
+// must reproduce bitwise: the plain path, the fault-injected path, each
+// conditional-copy mitigation (hedging and timeout retries) whose
+// suppression logic the conservative windows defer, a chaos schedule
+// severing domains mid-run, and the adaptive overload controls whose
+// epoch-grid state the windows must settle identically.
 func execConfigs(t *testing.T) map[string]Config {
 	t.Helper()
 	plain := testConfig(t, 8, RowRange, 0.01, trace.HighHot)
@@ -29,11 +31,22 @@ func execConfigs(t *testing.T) map[string]Config {
 	hedged.Mitigation = Mitigation{HedgeDelayMs: hedgeDelay(t, trace.HighHot)}
 	retried := faultConfig(t, trace.MediumHot)
 	retried.Mitigation = Mitigation{TimeoutMs: hedgeDelay(t, trace.MediumHot) * 2, MaxRetries: 2}
+	chaotic := faultConfig(t, trace.MediumHot)
+	chaotic.Mitigation = Mitigation{HedgeDelayMs: hedgeDelay(t, trace.MediumHot)}
+	chaotic.Chaos = chaosTestSchedule(chaotic.MeanArrivalMs * float64(chaotic.Queries))
+	adaptive := faultConfig(t, trace.MediumHot)
+	adaptive.Mitigation = Mitigation{
+		TimeoutMs: hedgeDelay(t, trace.MediumHot) * 2, MaxRetries: 2,
+		RetryBudget: 0.25, BreakerTripRate: 0.5, BreakerMinSamples: 4,
+	}
+	adaptive.Chaos = chaosTestSchedule(adaptive.MeanArrivalMs * float64(adaptive.Queries))
 	return map[string]Config{
-		"plain":   plain,
-		"faults":  faulted,
-		"hedge":   hedged,
-		"retries": retried,
+		"plain":          plain,
+		"faults":         faulted,
+		"hedge":          hedged,
+		"retries":        retried,
+		"chaos":          chaotic,
+		"chaos-adaptive": adaptive,
 	}
 }
 
@@ -156,6 +169,18 @@ func openExecConfigs(t *testing.T) map[string]Config {
 	faulted.Mitigation = Mitigation{HedgeDelayMs: hedgeDelay(t, trace.HighHot), DegradedJoin: true,
 		TimeoutMs: hedgeDelay(t, trace.HighHot) * 2, MaxRetries: 1}
 	cfgs["faults"] = faulted
+
+	chaotic := openTestConfig(t, 4, &OpenLoop{
+		Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: openRate(t, 4, 0.6)},
+		DurationMs: 500,
+		SLAMs:      50,
+	})
+	chaotic.Chaos = chaosTestSchedule(500)
+	chaotic.Mitigation = Mitigation{
+		TimeoutMs: hedgeDelay(t, trace.HighHot) * 2, MaxRetries: 2,
+		RetryBudget: 0.3, BreakerTripRate: 0.5, BreakerMinSamples: 4,
+	}
+	cfgs["chaos-adaptive"] = chaotic
 
 	return cfgs
 }

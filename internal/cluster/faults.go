@@ -115,9 +115,41 @@ type Mitigation struct {
 	// DegradedJoin lets the router give up on a sub-request at the retry
 	// budget's final deadline, dispatch+(MaxRetries+1)·TimeoutMs, joining
 	// the query with partial pooled sums: the abandoned shard's lookups
-	// are excluded and the query's Completeness drops below 1. Requires
-	// TimeoutMs > 0.
+	// are excluded and the query's Completeness drops below 1.
+	//
+	// Contract: DegradedJoin REQUIRES TimeoutMs > 0 — the degraded join
+	// is defined by the timeout deadline, so it cannot stand alone.
+	// validate rejects the combination; it is not a silent no-op.
 	DegradedJoin bool
+
+	// The adaptive-overload knobs below (adapt.go) turn the static
+	// policy above into one that stops retry storms from amplifying
+	// load. All adaptive state evolves on a fixed epoch grid so output
+	// stays byte-identical under the parallel execution backend.
+
+	// RetryBudget caps conditional copies (hedges + timeout retries) at
+	// this fraction of primary copies served, cumulatively: a
+	// conditional launches only while launched conditionals stay under
+	// RetryBudget·primaries, measured at epoch boundaries. 0 disables
+	// the budget. Until the first epoch settles the measured traffic is
+	// zero and conditionals are denied — a ≤-one-epoch warmup artifact.
+	RetryBudget float64
+	// AdaptEpochMs is the adaptive control epoch: budget and breaker
+	// decisions see state settled at multiples of it. 0 defaults to
+	// 4·TimeoutMs (or 4·HedgeDelayMs with no timeout).
+	AdaptEpochMs float64
+	// BreakerTripRate opens a node's circuit breaker when, in one epoch
+	// with at least BreakerMinSamples attempts, the fraction of copies
+	// answering past TimeoutMs reaches it (in (0, 1]). An open breaker
+	// suppresses conditional copies to the node; primaries always flow.
+	// 0 disables breakers; > 0 requires TimeoutMs > 0.
+	BreakerTripRate float64
+	// BreakerMinSamples is the minimum per-epoch attempt count before a
+	// closed breaker may trip (0 defaults to 10).
+	BreakerMinSamples int
+	// BreakerCooldownMs holds an open breaker before it half-opens to
+	// probe (0 defaults to 4 epochs).
+	BreakerCooldownMs float64
 }
 
 // Active reports whether any mitigation is configured.
@@ -125,7 +157,16 @@ func (m Mitigation) Active() bool {
 	return m.TimeoutMs > 0 || m.MaxRetries > 0 || m.HedgeDelayMs > 0 || m.DegradedJoin
 }
 
-func (m Mitigation) validate() error {
+// adaptive reports whether the adaptive-overload machinery (adapt.go)
+// engages: a retry/hedge budget, per-node breakers, or both.
+func (m *Mitigation) adaptive() bool {
+	return m.RetryBudget > 0 || m.BreakerTripRate > 0
+}
+
+// validate checks the policy and resolves the adaptive zero-means-
+// default knobs in place (pointer receiver, like FaultModel.validate —
+// Config.Validate copies first to stay mutation-free).
+func (m *Mitigation) validate() error {
 	if m.TimeoutMs < 0 || m.HedgeDelayMs < 0 || m.MaxRetries < 0 {
 		return fmt.Errorf("cluster: negative mitigation parameter")
 	}
@@ -134,6 +175,43 @@ func (m Mitigation) validate() error {
 	}
 	if m.DegradedJoin && m.TimeoutMs <= 0 {
 		return fmt.Errorf("cluster: degraded joins need a timeout deadline")
+	}
+	if m.RetryBudget < 0 || m.AdaptEpochMs < 0 || m.BreakerCooldownMs < 0 || m.BreakerMinSamples < 0 {
+		return fmt.Errorf("cluster: negative adaptive-mitigation parameter")
+	}
+	if m.RetryBudget > 0 && m.MaxRetries <= 0 && m.HedgeDelayMs <= 0 {
+		return fmt.Errorf("cluster: a retry budget needs retries or hedges to cap")
+	}
+	if m.BreakerTripRate != 0 && !(m.BreakerTripRate > 0 && m.BreakerTripRate <= 1) {
+		return fmt.Errorf("cluster: breaker trip rate %g outside (0,1]", m.BreakerTripRate)
+	}
+	if m.BreakerTripRate > 0 && m.TimeoutMs <= 0 {
+		return fmt.Errorf("cluster: circuit breakers need a timeout to measure against")
+	}
+	if m.BreakerTripRate == 0 && (m.BreakerMinSamples != 0 || m.BreakerCooldownMs != 0) {
+		return fmt.Errorf("cluster: breaker knobs (min samples %d, cooldown %g ms) need a trip rate",
+			m.BreakerMinSamples, m.BreakerCooldownMs)
+	}
+	if !m.adaptive() {
+		if m.AdaptEpochMs != 0 {
+			return fmt.Errorf("cluster: adaptive epoch %g ms needs a retry budget or breaker trip rate", m.AdaptEpochMs)
+		}
+		return nil
+	}
+	if m.AdaptEpochMs == 0 {
+		if m.TimeoutMs > 0 {
+			m.AdaptEpochMs = 4 * m.TimeoutMs
+		} else {
+			m.AdaptEpochMs = 4 * m.HedgeDelayMs
+		}
+	}
+	if m.BreakerTripRate > 0 {
+		if m.BreakerMinSamples == 0 {
+			m.BreakerMinSamples = 10
+		}
+		if m.BreakerCooldownMs == 0 {
+			m.BreakerCooldownMs = 4 * m.AdaptEpochMs
+		}
 	}
 	return nil
 }

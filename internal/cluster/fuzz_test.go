@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"slices"
 	"testing"
 
 	"dlrmsim/internal/dlrm"
+	"dlrmsim/internal/trace"
 )
 
 // FuzzShardPlan checks the sharding invariant every router decision rests
@@ -61,6 +63,81 @@ func FuzzShardPlan(f *testing.F) {
 		}
 		if want := model.PerTableBytes() * int64(model.Tables); sum != want {
 			t.Fatalf("shards sum to %d bytes, want %d (every row owned exactly once)", sum, want)
+		}
+	})
+}
+
+// FuzzChaosSchedule checks the chaos front door's contract: a spec that
+// parses and validates is runnable — materialization and a small
+// simulation must not panic — String round-trips through
+// ParseChaosSchedule exactly, and the materialized window order is
+// deterministic (the schedule is static: no RNG anywhere).
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add("down:dom=2,at=200,for=150;part:a=0,b=1,at=400,for=100")
+	f.Add("slow:dom=0,at=10,for=50,x=4;recover:dom=0,at=30")
+	f.Add("part:a=1,b=0,at=0,for=1;part:a=0,b=1,at=2,for=3")
+	f.Add("down:dom=0,at=0,for=1e9;down:dom=0,at=5,for=1;recover:dom=0,at=6")
+	f.Add("recover:dom=3,at=0")
+	f.Add("down:dom=1,at=nan,for=1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		sched, err := ParseChaosSchedule(spec)
+		if err != nil {
+			return // syntactically invalid: rejection is the contract
+		}
+		again, err := ParseChaosSchedule(sched.String())
+		if err != nil {
+			t.Fatalf("String() %q of a parsed schedule does not re-parse: %v", sched.String(), err)
+		}
+		// Compare canonical forms, not events: NaN parameters (rejected
+		// below by validation) are never equal to themselves.
+		if again.String() != sched.String() || len(again.Events) != len(sched.Events) {
+			t.Fatalf("round trip through %q lost events:\nwant %+v\ngot  %+v", sched.String(), sched.Events, again.Events)
+		}
+		const nodes = 4
+		if len(sched.validateErrs(nodes)) > 0 {
+			return // semantically invalid: Config.Validate's to reject
+		}
+		var a, b chaosState
+		a.init(&sched, nodes)
+		b.init(&sched, nodes)
+		if !slices.Equal(a.out, b.out) || !slices.Equal(a.slow, b.slow) || !slices.Equal(a.part, b.part) {
+			t.Fatal("chaos materialization is not deterministic")
+		}
+		for n := 0; n < nodes; n++ {
+			for _, at := range []float64{0, 1, 100, 1e6} {
+				if fct := a.slowFactor(n, at); fct < 1 {
+					t.Fatalf("slowFactor(%d, %g) = %g < 1", n, at, fct)
+				}
+				shift, resends := a.transitShift(0, n, at, 1)
+				if shift < 0 || resends < 0 || (shift == 0) != (resends == 0) {
+					t.Fatalf("transitShift(0→%d, %g) = (%g, %d)", n, at, shift, resends)
+				}
+			}
+		}
+		if out := a.outageMs(1e6); out < 0 {
+			t.Fatalf("outageMs = %g < 0", out)
+		}
+		// A validated schedule must simulate without panicking.
+		model := dlrm.RM2Small()
+		plan, err := NewPlan(model, nodes, RowRange, 0.01, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Plan:            plan,
+			Hotness:         trace.HighHot,
+			SamplesPerQuery: 2,
+			Timing:          testTiming(),
+			Net:             DefaultNetwork(),
+			MeanArrivalMs:   0.5,
+			Queries:         40,
+			WarmupQueries:   -1,
+			Seed:            1,
+			Chaos:           sched,
+		}
+		if _, err := Simulate(cfg); err != nil {
+			t.Fatalf("validated schedule rejected by Simulate: %v", err)
 		}
 	})
 }

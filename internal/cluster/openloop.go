@@ -395,6 +395,15 @@ type openRun struct {
 	ringCold []int
 	ringHead int
 
+	// Recovery observability (chaos.go): minute buckets of post-warmup
+	// arrivals and in-SLA completions, and the post-fault (arrive >=
+	// pfThresh) offered/good counters. Nil/zero without a chaos schedule;
+	// the batch join fills them in the summary loop, stream-stats runs
+	// fill them through the streamJoin aliases.
+	ttrArr, ttrGood []int
+	pfThresh        float64
+	pfArr, pfGood   int
+
 	// The run's recycled working set (arena.go); simulateOpen releases
 	// it after the summary.
 	arena *runArena
@@ -436,6 +445,12 @@ func newOpenRun(cfg Config, sketchParts int) (*openRun, error) {
 	st.copies = a.copies[:0]
 	if cfg.Faults.Active() {
 		st.faults = newFaultState(cfg.Faults, cfg.Seed, plan.Nodes)
+	}
+	if cfg.Chaos.Active() {
+		st.chaos = a.chaosFor(&cfg.Chaos, plan.Nodes)
+	}
+	if cfg.Mitigation.adaptive() {
+		st.adapt = a.adaptFor(&cfg.Mitigation, plan.Nodes)
 	}
 
 	active := a.boolSet(plan.Nodes)
@@ -484,9 +499,16 @@ func newOpenRun(cfg Config, sketchParts int) (*openRun, error) {
 	if r.as != nil {
 		r.nextTick = r.as.IntervalMs
 	}
+	if st.chaos != nil {
+		r.ttrArr, r.ttrGood = a.ttrBuckets(int(o.DurationMs/minuteMs) + 1)
+		clearT := math.Min(st.chaos.clearMs, o.DurationMs)
+		r.pfThresh = math.Max(clearT, o.WarmupMs)
+	}
 	if o.StreamStats {
 		r.sj = newStreamJoin(o, minuteMs, r.violated, sketchParts)
 		r.sj.denseMs = cfg.Timing.DenseMs
+		r.sj.ttrArr, r.sj.ttrGood = r.ttrArr, r.ttrGood
+		r.sj.pfThreshMs = r.pfThresh
 		st.recycle = true
 	}
 	return r, nil
@@ -667,7 +689,7 @@ func (r *openRun) processArrival(now float64, user uint64, visit int, hot, warm 
 			pooled := (served + model.LookupsPerSample - 1) / model.LookupsPerSample
 			respBytes := int64(pooled)*int64(model.EmbDim)*4 + wireHeaderBytes
 			before := len(st.copies)
-			idx := st.schedule(r.q, n, served, svcUs/1e3, reqBytes, respBytes, now)
+			idx := st.schedule(r.q, home, n, served, svcUs/1e3, reqBytes, respBytes, now)
 			if r.sj != nil {
 				st.subs[idx].join = joinSlot
 				r.sj.subAttached(joinSlot)
@@ -818,6 +840,7 @@ func (r *openRun) summary() Result {
 		hedgeCount, retryCount, fullJoins = sj.hedgeCount, sj.retryCount, sj.fullJoins
 		postArr, postShed, postRevisit, goodCount = sj.postArr, sj.postShed, sj.postRevisit, sj.goodCount
 		completenessSum = sj.completenessSum
+		r.pfArr, r.pfGood = sj.pfArr, sj.pfGood
 		if streamHighWater != nil {
 			streamHighWater(sj.maxLiveSubs, sj.maxLiveJoins)
 		}
@@ -842,6 +865,12 @@ func (r *openRun) summary() Result {
 				postArr++
 				if oq.revisit {
 					postRevisit++
+				}
+				if r.ttrArr != nil {
+					r.ttrArr[int(oq.arrive/minuteMs)]++
+					if oq.arrive >= r.pfThresh {
+						r.pfArr++
+					}
 				}
 			}
 			if !oq.admitted {
@@ -879,6 +908,12 @@ func (r *openRun) summary() Result {
 			latencies = append(latencies, lat)
 			if lat <= o.SLAMs {
 				goodCount++
+				if r.ttrArr != nil {
+					r.ttrGood[int(oq.arrive/minuteMs)]++
+					if oq.arrive >= r.pfThresh {
+						r.pfGood++
+					}
+				}
 			} else {
 				violated[int(oq.arrive/minuteMs)] = true
 			}
@@ -923,6 +958,39 @@ func (r *openRun) summary() Result {
 		res.Availability = float64(fullJoins) / float64(n)
 		res.Completeness = completenessSum / float64(n)
 		res.RetriesPerQuery = float64(retryCount) / float64(n)
+		res.RetryAmplification = float64(subCount+hedgeCount+retryCount) / float64(n)
+	}
+	if st.adapt != nil {
+		res.BreakerOpenMinutes = st.adapt.finalize() / 60000
+	}
+	res.DomainAvailability = 1
+	if st.chaos != nil {
+		res.DomainAvailability = 1 - st.chaos.outageMs(o.DurationMs)/(float64(st.chaos.domains)*o.DurationMs)
+		// Time to recover: the earliest minute bucket past the schedule's
+		// clear instant from which every later non-empty bucket keeps an
+		// in-SLA fraction of at least 1-recoverEps. Empty buckets are
+		// neutral; -1 means the fleet never re-entered a sustained good
+		// regime before the horizon (the metastable signature).
+		clearT := math.Min(st.chaos.clearMs, o.DurationMs)
+		recB := -1
+		for b := len(r.ttrArr) - 1; b >= int(clearT/minuteMs)+1; b-- {
+			if r.ttrArr[b] == 0 {
+				continue
+			}
+			if float64(r.ttrGood[b]) >= (1-recoverEps)*float64(r.ttrArr[b]) {
+				recB = b
+			} else {
+				break
+			}
+		}
+		res.TimeToRecoverMs = -1
+		if recB >= 0 {
+			res.TimeToRecoverMs = math.Max(0, float64(recB)*minuteMs-clearT)
+		}
+		if pfWindow := o.DurationMs - r.pfThresh; pfWindow > 0 {
+			res.PostFaultOfferedQPS = float64(r.pfArr) / (pfWindow / 1e3)
+			res.PostFaultGoodput = float64(r.pfGood) / (pfWindow / 1e3)
+		}
 	}
 	if postArr > 0 {
 		res.ShedRate = float64(postShed) / float64(postArr)
@@ -955,13 +1023,16 @@ func (r *openRun) summary() Result {
 		res.Imbalance = busyMax / (busySum / float64(plan.Nodes))
 	}
 	if check.Enabled {
-		finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+		finite := check.Finite
 		check.Assert(finite(res.P99) && finite(res.Goodput) && finite(res.ShedRate) && finite(res.Utilization),
 			"cluster: non-finite open-loop summary (p99 %g, goodput %g, shed %g, util %g)",
 			res.P99, res.Goodput, res.ShedRate, res.Utilization)
 		check.Assert(res.SLAViolationMinutes >= 0 && res.MeanActiveNodes > 0,
 			"cluster: impossible open-loop accounting (violation minutes %g, active nodes %g)",
 			res.SLAViolationMinutes, res.MeanActiveNodes)
+		check.Assert(finite(res.RetryAmplification) && finite(res.DomainAvailability) && res.TimeToRecoverMs >= -1,
+			"cluster: impossible recovery accounting (amplification %g, domain availability %g, recover %g ms)",
+			res.RetryAmplification, res.DomainAvailability, res.TimeToRecoverMs)
 	}
 	return res
 }

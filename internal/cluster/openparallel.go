@@ -184,6 +184,15 @@ func (r *openRun) loopParallel(parts int) {
 		if r.nextTick <= o.DurationMs && r.nextTick < wend {
 			wend = r.nextTick
 		}
+		if ad := st.adapt; ad != nil {
+			// Same discipline as the closed loop (parallel.go): settle
+			// every boundary at or before the window start, truncate the
+			// window at the next one — no window spans an epoch boundary.
+			ad.advanceTo(w)
+			if ad.boundary < wend {
+				wend = ad.boundary
+			}
+		}
 
 		// Collect the window's copies — complete by the conservative
 		// argument above — and restore the canonical global order across

@@ -42,7 +42,18 @@ func (s *simState) runParallel(parts int, scratch []partScratch) {
 	}
 	lookahead := s.cfg.Net.LatencyMs
 	for i := 0; i < len(s.copies); {
-		end := s.copies[i].arrive + lookahead
+		w := s.copies[i].arrive
+		end := w + lookahead
+		if ad := s.adapt; ad != nil {
+			// Settle every epoch boundary at or before the window start,
+			// then truncate the window at the next boundary: windows never
+			// span a boundary, so settle() sees exactly the pre-boundary
+			// copies — the same pending set the sequential driver folds.
+			ad.advanceTo(w)
+			if ad.boundary < end {
+				end = ad.boundary
+			}
+		}
 		j := i + 1
 		for j < len(s.copies) && s.copies[j].arrive < end {
 			j++

@@ -49,9 +49,14 @@ type Config struct {
 	// unavailability windows, and sub-request drops (zero = perfect
 	// fleet).
 	Faults FaultModel
+	// Chaos scripts correlated failures over node failure domains —
+	// domain outages, slowdowns, partitions between domain pairs, and
+	// recoveries (chaos.go). Composes with Faults; zero injects nothing.
+	Chaos ChaosSchedule
 	// Mitigation is the router's fault-survival policy: per-sub-request
 	// timeouts with bounded retry to a standby, hedged backups, degraded
-	// joins (zero = naive router).
+	// joins, and the adaptive overload controls — retry/hedge budget and
+	// per-node circuit breakers (zero = naive router).
 	Mitigation Mitigation
 	// Open switches the simulation to open-loop live-traffic mode: a
 	// time-driven arrival stream (internal/traffic) with a synthetic user
@@ -93,6 +98,9 @@ func (c *Config) applyDefaults() error {
 		if err := c.Mitigation.validate(); err != nil {
 			return err
 		}
+		if err := c.Chaos.validateFirst(c.Plan.Nodes); err != nil {
+			return err
+		}
 		// Clone before resolving defaults: Simulate receives the Config by
 		// value but Open is a pointer, and mutating the caller's struct
 		// would corrupt reuse — in a replication sweep, an explicit-zero
@@ -129,7 +137,10 @@ func (c *Config) applyDefaults() error {
 	if err := c.Faults.validate(); err != nil {
 		return err
 	}
-	return c.Mitigation.validate()
+	if err := c.Mitigation.validate(); err != nil {
+		return err
+	}
+	return c.Chaos.validateFirst(c.Plan.Nodes)
 }
 
 // Result summarizes one cluster run.
@@ -163,6 +174,17 @@ type Result struct {
 	// RetriesPerQuery is the mean number of re-sent sub-request copies
 	// per post-warmup query (timeout retries plus transport re-sends).
 	RetriesPerQuery float64
+	// RetryAmplification is total sub-request copies (primaries, hedges,
+	// retries, transport re-sends) per scored query — the load-
+	// multiplication factor a retry storm drives above 1× fan-out.
+	RetryAmplification float64
+	// BreakerOpenMinutes is total circuit-breaker-open time summed over
+	// nodes, in node·minutes (0 without breakers).
+	BreakerOpenMinutes float64
+	// DomainAvailability is 1 minus the scheduled-domain-down fraction
+	// of the run: the per-domain union of chaos outage windows over
+	// domains × horizon (1.0 when no chaos schedule is active).
+	DomainAvailability float64
 	// ReplicaBytesPerNode and MaxShardBytes restate the plan's memory
 	// accounting so latency/memory tradeoff curves come from one struct.
 	ReplicaBytesPerNode int64
@@ -193,7 +215,24 @@ type Result struct {
 	// RevisitRate is the fraction of post-warmup arrivals from revisiting
 	// users (0 without a population).
 	RevisitRate float64
+	// TimeToRecoverMs measures recovery from the chaos schedule's last
+	// window end (the fault-clear instant): the delay until the start of
+	// the largest suffix of scaled-minute buckets in which goodput stays
+	// within ε=0.1 of the offered load (per bucket, SLA-met admitted
+	// queries ≥ 0.9 × arrivals; empty buckets are neutral). −1 means the
+	// run never recovered — the metastable signature. 0 without a chaos
+	// schedule.
+	TimeToRecoverMs float64
+	// PostFaultOfferedQPS and PostFaultGoodput restate OfferedQPS and
+	// Goodput over the post-fault-clear window only (chaos runs; 0
+	// otherwise) — the window the metastability assertions measure.
+	PostFaultOfferedQPS float64
+	PostFaultGoodput    float64
 }
+
+// recoverEps is TimeToRecoverMs's tolerance: a minute bucket counts as
+// recovered when its goodput reaches (1−recoverEps) of its arrivals.
+const recoverEps = 0.1
 
 // subState is one sub-request's router-side bookkeeping: the shard fan-out
 // unit whose copies (primary, hedge, retries) race to produce a response.
@@ -245,6 +284,8 @@ type simState struct {
 	plan     *Plan
 	queues   []*serve.Queue
 	faults   *faultState
+	chaos    *chaosState // materialized chaos schedule (nil = none)
+	adapt    *adaptState // epoch-grid adaptive mitigation (nil = static)
 	subs     []subState
 	copies   []subCopy
 	warmupMs float64 // open-loop warmup horizon (0 in closed-loop mode)
@@ -269,8 +310,11 @@ type simState struct {
 // dispatch+k·TimeoutMs. Conditional copies are skipped at processing time
 // when a response beat their launch deadline.
 // schedule returns the sub's slot in s.subs so the open-loop
-// stream-stats joiner can attach it to a join record.
-func (s *simState) schedule(q, owner int, served int, svcMs float64, reqBytes, respBytes int64, dispatch float64) int {
+// stream-stats joiner can attach it to a join record. home is the
+// query's home node — the router's location for chaos partition
+// severance (copies crossing a severed domain pair in transit are lost
+// and re-sent at heal, composed after the transport's drop re-sends).
+func (s *simState) schedule(q, home, owner int, served int, svcMs float64, reqBytes, respBytes int64, dispatch float64) int {
 	sub := subState{
 		q: q, owner: owner, dispatch: dispatch,
 		served: served, svcMs: svcMs, respBytes: respBytes,
@@ -287,10 +331,16 @@ func (s *simState) schedule(q, owner int, served int, svcMs float64, reqBytes, r
 		idx = len(s.subs)
 		s.subs = append(s.subs, sub)
 	}
+	transit := s.cfg.Net.LatencyMs + s.cfg.Net.TransferMs(reqBytes)
 	add := func(kind copyKind, node, attempt int, launch float64) {
 		shift, resends := s.faults.dropShift(q, node, attempt, s.plan.Nodes)
+		if s.chaos != nil {
+			ps, pr := s.chaos.transitShift(home, node, launch+shift, transit)
+			shift += ps
+			resends += pr
+		}
 		s.copies = append(s.copies, subCopy{
-			arrive:  launch + shift + s.cfg.Net.LatencyMs + s.cfg.Net.TransferMs(reqBytes),
+			arrive:  launch + shift + transit,
 			launch:  launch,
 			sub:     idx,
 			seq:     seq,
@@ -412,9 +462,22 @@ func (s *simState) runEventq() {
 // scheduling and arrival. Callers must invoke it in (arrive, sub, attempt)
 // order, the global node-arrival order the FCFS queues require.
 func (s *simState) serveCopy(c *subCopy, node int) {
+	ad := s.adapt
+	if ad != nil {
+		ad.advanceTo(c.arrive)
+		if c.arrive > ad.lastT {
+			ad.lastT = c.arrive
+		}
+	}
 	sub := &s.subs[c.sub]
 	if c.kind != copyPrimary && sub.best <= c.launch {
 		return // a response arrived before this deadline; never sent
+	}
+	if ad != nil && c.kind != copyPrimary && !ad.allowCond(node) {
+		// Budget exhausted or breaker open: the copy is never launched,
+		// so it counts in no rate metric (HedgeRate, RetriesPerQuery) —
+		// launched copies count, suppressed ones don't, consistently.
+		return
 	}
 	switch c.kind {
 	case copyHedge:
@@ -425,8 +488,12 @@ func (s *simState) serveCopy(c *subCopy, node int) {
 	sub.retries += c.resends
 	cfg := &s.cfg
 	s.faults.applyOutages(node, c.arrive, s.queues[node])
+	s.chaos.applyOutages(node, c.arrive, s.queues[node])
 	svc := sub.svcMs
 	if f := s.faults.slowFactor(node, c.arrive); f != 1 {
+		svc *= f
+	}
+	if f := s.chaos.slowFactor(node, c.arrive); f != 1 {
 		svc *= f
 	}
 	if cfg.JitterFrac > 0 {
@@ -445,8 +512,12 @@ func (s *simState) serveCopy(c *subCopy, node int) {
 			s.maxWait = w
 		}
 	}
-	if back := done + cfg.Net.LatencyMs + cfg.Net.TransferMs(sub.respBytes); back < sub.best {
+	back := done + cfg.Net.LatencyMs + cfg.Net.TransferMs(sub.respBytes)
+	if back < sub.best {
 		sub.best = back
+	}
+	if ad != nil {
+		ad.observe(node, c.kind, back-c.launch, &ad.pendPrim, &ad.pendCond)
 	}
 }
 
@@ -507,6 +578,12 @@ func Simulate(cfg Config) (Result, error) {
 	}
 	if cfg.Faults.Active() {
 		st.faults = newFaultState(cfg.Faults, cfg.Seed, plan.Nodes)
+	}
+	if cfg.Chaos.Active() {
+		st.chaos = a.chaosFor(&cfg.Chaos, plan.Nodes)
+	}
+	if cfg.Mitigation.adaptive() {
+		st.adapt = a.adaptFor(&cfg.Mitigation, plan.Nodes)
 	}
 	// Seed the scheduling scratch: one sub-request per query is the floor
 	// (the home node always serves), and the copy count per sub-request is
@@ -597,7 +674,7 @@ func Simulate(cfg Config) (Result, error) {
 			// per (sample, table) slice served, fp32 on the wire.
 			pooled := (served + model.LookupsPerSample - 1) / model.LookupsPerSample
 			respBytes := int64(pooled)*int64(model.EmbDim)*4 + wireHeaderBytes
-			st.schedule(q, n, served, svcUs/1e3, reqBytes, respBytes, now)
+			st.schedule(q, home, n, served, svcUs/1e3, reqBytes, respBytes, now)
 		}
 		if q >= cfg.WarmupQueries {
 			hotLookups += hot
@@ -678,6 +755,14 @@ func Simulate(cfg Config) (Result, error) {
 		RetriesPerQuery:     float64(retryCount) / float64(len(latencies)),
 		ReplicaBytesPerNode: plan.ReplicaBytesPerNode(),
 		MaxShardBytes:       plan.MaxShardBytes(),
+	}
+	res.RetryAmplification = float64(subCount+hedgeCount+retryCount) / float64(len(latencies))
+	if st.adapt != nil {
+		res.BreakerOpenMinutes = st.adapt.finalize() / 60000
+	}
+	res.DomainAvailability = 1
+	if st.chaos != nil && simEnd > 0 {
+		res.DomainAvailability = 1 - st.chaos.outageMs(simEnd)/(float64(st.chaos.domains)*simEnd)
 	}
 	if subCount > 0 {
 		res.HedgeRate = float64(hedgeCount) / float64(subCount)

@@ -69,6 +69,16 @@ type streamJoin struct {
 	hedgeCount, retryCount, fullJoins int
 	completenessSum                   float64
 
+	// Recovery observability (chaos.go): the minute buckets and
+	// post-fault counters the batch join fills in its summary loop,
+	// accumulated here at arrival/finalize time instead. ttrArr nil when
+	// the run has no chaos schedule. All integer increments keyed by the
+	// query's arrival instant, so the parallel driver's fold order is
+	// unobservable.
+	ttrArr, ttrGood []int
+	pfThreshMs      float64
+	pfArr, pfGood   int
+
 	maxLiveJoins, maxLiveSubs int
 }
 
@@ -99,6 +109,12 @@ func (sj *streamJoin) arrival(now float64, admitted, revisit bool) int {
 		}
 		if !admitted {
 			sj.postShed++
+		}
+		if sj.ttrArr != nil {
+			sj.ttrArr[int(now/sj.minuteMs)]++
+			if now >= sj.pfThreshMs {
+				sj.pfArr++
+			}
 		}
 	}
 	if !admitted {
@@ -185,6 +201,12 @@ func (sj *streamJoin) finalize(slot int, part int) {
 		sj.latSum += lat
 		if lat <= sj.slaMs {
 			sj.goodCount++
+			if sj.ttrArr != nil {
+				sj.ttrGood[int(rec.arrive/sj.minuteMs)]++
+				if rec.arrive >= sj.pfThreshMs {
+					sj.pfGood++
+				}
+			}
 		} else {
 			sj.violated[int(rec.arrive/sj.minuteMs)] = true
 		}

@@ -71,9 +71,17 @@ func (c Config) Validate() error {
 	if err := f.validate(); err != nil {
 		errs = append(errs, err)
 	}
-	if err := c.Mitigation.validate(); err != nil {
+	// Copy first: validate resolves adaptive defaults through its pointer
+	// receiver, and Validate's contract is mutation-free.
+	m := c.Mitigation
+	if err := m.validate(); err != nil {
 		errs = append(errs, err)
 	}
+	nodes := 0
+	if c.Plan != nil {
+		nodes = c.Plan.Nodes
+	}
+	errs = append(errs, c.Chaos.validateErrs(nodes)...)
 	return errors.Join(errs...)
 }
 

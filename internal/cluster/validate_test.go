@@ -29,10 +29,14 @@ func TestConfigValidateCollectsAllViolations(t *testing.T) {
 		Queries:         -7,
 		Faults:          FaultModel{DropProb: 2},
 		Mitigation:      Mitigation{MaxRetries: 3},
+		Chaos: ChaosSchedule{
+			Domains: 9,
+			Events:  []ChaosEvent{{Kind: DomainOutage, Domain: 2, AtMs: 10, ForMs: -5}},
+		},
 	}
 	err := cfg.Validate()
 	if err == nil {
-		t.Fatal("Validate accepted a config with nine violations")
+		t.Fatal("Validate accepted a config with eleven violations")
 	}
 	for _, want := range []string{
 		"samples per query",
@@ -45,6 +49,8 @@ func TestConfigValidateCollectsAllViolations(t *testing.T) {
 		"-7 queries",
 		"drop probability",
 		"retries need a timeout",
+		"chaos domains exceed",
+		"window length -5",
 	} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error missing %q:\n%v", want, err)

@@ -1,0 +1,154 @@
+package exp
+
+// The correlated-failure experiment family (clu8–clu9) runs the cluster
+// tier's deterministic chaos schedule against the open-loop traffic
+// generator: clu8 crosses a single-domain outage with the router's
+// mitigation posture, clu9 pushes the fleet into the retry-storm
+// metastability regime — offered load well under capacity, yet the naive
+// static retry policy never recovers after the outage clears, while a
+// retry budget restores goodput and circuit breakers restore it faster.
+//
+// As in clu6–clu7, timescales are expressed in arrival periods and
+// deadlines calibrate off the clean closed-loop p95, so the experiments
+// keep their shape whatever the engine-derived service model is.
+
+import (
+	"dlrmsim/internal/cluster"
+	"dlrmsim/internal/traffic"
+)
+
+func init() {
+	register(Experiment{ID: "clu8", Title: "Domain outage × adaptive mitigation: recovery observability", Run: runClu8})
+	register(Experiment{ID: "clu9", Title: "Retry-storm metastability: static vs budgeted vs breaker mitigation", Run: runClu9})
+}
+
+// chaosMitigations returns the three mitigation postures the chaos
+// family crosses: static timeout retries, the same retries under a
+// global 10% retry budget, and the budget plus per-node circuit
+// breakers. The adaptive epoch is passed explicitly: the default (4
+// timeouts) spans hundreds of arrival periods at the fixture's
+// microsecond service times, far too coarse to track an outage.
+func chaosMitigations(timeout, epoch float64, retries int) []struct {
+	name string
+	mit  cluster.Mitigation
+} {
+	return []struct {
+		name string
+		mit  cluster.Mitigation
+	}{
+		{"static", cluster.Mitigation{TimeoutMs: timeout, MaxRetries: retries}},
+		{"budget", cluster.Mitigation{TimeoutMs: timeout, MaxRetries: retries,
+			RetryBudget: 0.1, AdaptEpochMs: epoch}},
+		{"budget+breaker", cluster.Mitigation{TimeoutMs: timeout, MaxRetries: retries,
+			RetryBudget: 0.1, AdaptEpochMs: epoch,
+			BreakerTripRate: 0.5, BreakerMinSamples: 4}},
+	}
+}
+
+// fmtRecover renders TimeToRecoverMs, whose −1 sentinel means the run
+// never returned to ≥90% goodput after the schedule cleared.
+func fmtRecover(ms float64) string {
+	if ms < 0 {
+		return "never"
+	}
+	return f1(ms)
+}
+
+// runClu8 drops one failure domain — a quarter of the fleet — for a
+// fixed window at moderate load and reads the new recovery observability
+// off each mitigation posture: scheduled availability, time to recover,
+// retry amplification, and breaker-open time. All three postures recover
+// at this load, and the posture contrast is the point: the budget denies
+// copies blindly in deadline order — it drains the backlog faster than
+// static but also suppresses useful retries, costing some goodput —
+// while breakers suppress exactly the copies aimed at the backlogged
+// domain, recovering fastest at the highest goodput.
+func runClu8(x *Context) (*Table, error) {
+	t := &Table{
+		ID: "clu8", Title: "Domain outage × mitigation (rm2_1, Medium Hot, 8 nodes in 4 domains)",
+		Headers: []string{"mitigation", "avail %", "offered qps", "goodput qps", "post-fault ratio", "recover (ms)", "retry amp", "breaker node-ms"},
+	}
+	base, err := openCluBase(x)
+	if err != nil {
+		return nil, err
+	}
+	arrival := base.arrivalAt(x, 0.45)
+	duration := 1600 * arrival
+	for _, m := range chaosMitigations(2*base.cleanP95, 8*arrival, 1) {
+		cfg := base.cfg
+		cfg.Mitigation = m.mit
+		cfg.Chaos = cluster.ChaosSchedule{
+			Domains: 4,
+			Events: []cluster.ChaosEvent{
+				{Kind: cluster.DomainOutage, Domain: 2, AtMs: 300 * arrival, ForMs: 300 * arrival},
+			},
+		}
+		cfg.Open = &cluster.OpenLoop{
+			Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: 1 / arrival},
+			DurationMs: duration,
+			SLAMs:      4 * base.cleanP95,
+		}
+		res, err := cluster.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if res.PostFaultOfferedQPS > 0 {
+			ratio = res.PostFaultGoodput / res.PostFaultOfferedQPS
+		}
+		t.AddRow(m.name, pct(res.DomainAvailability), f1(res.OfferedQPS), f1(res.Goodput),
+			f3(ratio), fmtRecover(res.TimeToRecoverMs), f2(res.RetryAmplification), f3(res.BreakerOpenMinutes*60000))
+	}
+	t.AddNote("one of four failure domains (2 of 8 nodes) is down for 300 arrival periods at 0.45x capacity; timeout = 2x and SLA = 4x the clean closed-loop p95 (%.3f ms); post-fault ratio is goodput over offered after the schedule clears, and recover is the time from clear until goodput holds at >=90%% of arrivals", base.cleanP95)
+	return t, nil
+}
+
+// runClu9 is the metastability demonstration: half the fleet goes down
+// for 100 arrival periods at 0.72× capacity with two timeout retries per
+// sub-request. Unbudgeted, every blown deadline triple-sends its
+// sub-request — offered work exceeds capacity even after the outage
+// clears, queues never drain, and goodput stays collapsed (recover =
+// never). The retry budget caps amplification below capacity so the
+// fleet drains and recovers; breakers additionally stop feeding doomed
+// copies to the backlogged domain and recover faster still. The golden
+// file pins this scenario's quantities at the fixed synthetic timing
+// (goldenChaosConfig in golden_test.go).
+func runClu9(x *Context) (*Table, error) {
+	t := &Table{
+		ID: "clu9", Title: "Retry-storm metastability (rm2_1, Medium Hot, 8 nodes, half-fleet outage at 0.72x load)",
+		Headers: []string{"mitigation", "offered qps", "goodput qps", "post-fault ratio", "recover (ms)", "retry amp", "breaker node-ms", "p99 (ms)"},
+	}
+	base, err := openCluBase(x)
+	if err != nil {
+		return nil, err
+	}
+	arrival := base.arrivalAt(x, 0.72)
+	duration := 2500 * arrival
+	for _, m := range chaosMitigations(2*base.cleanP95, 8*arrival, 2) {
+		cfg := base.cfg
+		cfg.Mitigation = m.mit
+		cfg.Chaos = cluster.ChaosSchedule{
+			Domains: 2,
+			Events: []cluster.ChaosEvent{
+				{Kind: cluster.DomainOutage, Domain: 1, AtMs: 200 * arrival, ForMs: 100 * arrival},
+			},
+		}
+		cfg.Open = &cluster.OpenLoop{
+			Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: 1 / arrival},
+			DurationMs: duration,
+			SLAMs:      4 * base.cleanP95,
+		}
+		res, err := cluster.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if res.PostFaultOfferedQPS > 0 {
+			ratio = res.PostFaultGoodput / res.PostFaultOfferedQPS
+		}
+		t.AddRow(m.name, f1(res.OfferedQPS), f1(res.Goodput), f3(ratio),
+			fmtRecover(res.TimeToRecoverMs), f2(res.RetryAmplification), f3(res.BreakerOpenMinutes*60000), f3(res.P99))
+	}
+	t.AddNote("half the fleet (1 of 2 domains) is down for 100 arrival periods at 0.72x capacity with 2 timeout retries; the static router's retries triple-send every slow sub-request, holding offered work above capacity indefinitely — the classic metastable failure. The 10%% retry budget caps amplification below capacity (recovery), and breakers stop retries into the backlogged domain (faster recovery)")
+	return t, nil
+}

@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10a", "fig10b", "fig10c",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab4",
 		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
-		"clu1", "clu2", "clu3", "clu4", "clu5", "clu6", "clu7",
+		"clu1", "clu2", "clu3", "clu4", "clu5", "clu6", "clu7", "clu8", "clu9",
 		"het1", "het2",
 	}
 	ids := IDs()

@@ -58,6 +58,17 @@ type golden struct {
 	ClusterOpenShedRate         map[string]float64 `json:"cluster_open_shed_rate"`
 	ClusterOpenViolationMinutes map[string]float64 `json:"cluster_open_violation_minutes"`
 	ClusterOpenMeanNodes        map[string]float64 `json:"cluster_open_mean_nodes"`
+	// ClusterChaos* pin the correlated-failure tier under the fixed golden
+	// chaos scenario (goldenChaosConfig — the clu9 retry-storm shape at the
+	// synthetic timing): a half-fleet domain outage at 0.72× capacity with
+	// two timeout retries, keyed by mitigation mode ("static", "budget",
+	// "budget+breaker"). PostFaultRatio is goodput over offered after the
+	// schedule clears; RecoverMs is TimeToRecoverMs, whose −1 is the
+	// metastable never-recovered signature the static mode must show.
+	ClusterChaosPostFaultRatio map[string]float64 `json:"cluster_chaos_post_fault_ratio"`
+	ClusterChaosRecoverMs      map[string]float64 `json:"cluster_chaos_recover_ms"`
+	ClusterChaosRetryAmp       map[string]float64 `json:"cluster_chaos_retry_amp"`
+	ClusterChaosBreakerMin     map[string]float64 `json:"cluster_chaos_breaker_min"`
 	// HetP95Ms maps "mix|policy" to the heterogeneous scheduler's p95 over
 	// the fixed synthetic phase graph (goldenHetGraph — no engine
 	// dependence), pinning the event loop, placement, SMT contention, and
@@ -171,6 +182,53 @@ func goldenOpenConfig(t *testing.T, model dlrm.Config, mode string) cluster.Conf
 		t.Fatalf("unknown open-loop golden mode %q", mode)
 	}
 	cfg.Open = open
+	return cfg
+}
+
+// chaosGoldenModes are the pinned mitigation postures for the chaos
+// scenario, mirroring the clu9 experiment's chaosMitigations.
+var chaosGoldenModes = []string{"static", "budget", "budget+breaker"}
+
+// goldenChaosConfig is the fixed retry-storm reference: the golden
+// cluster at High Hot with replication off, split into two failure
+// domains, driven at 0.72× capacity while domain 1 — half the fleet —
+// is down for 100 arrival periods. Every posture carries two timeout
+// retries; "budget" caps conditional copies at 10% of primaries and
+// "budget+breaker" adds per-node circuit breakers. The adaptive epoch
+// is 8 arrival periods — the default (4 timeouts) is far coarser than
+// the outage itself at the golden timing's microsecond service times.
+func goldenChaosConfig(t *testing.T, model dlrm.Config, mode string) cluster.Config {
+	t.Helper()
+	cfg := goldenClusterConfig(t, model, trace.HighHot, 0)
+	cfg.MeanArrivalMs = 0
+	cfg.Queries = 0
+	arrival := cluster.ArrivalForUtilization(cfg.Plan, cfg.Timing, cfg.SamplesPerQuery, cfg.ServersPerNode, 0.72)
+	mit := cluster.Mitigation{TimeoutMs: 0.5, MaxRetries: 2}
+	switch mode {
+	case "static":
+	case "budget":
+		mit.RetryBudget = 0.1
+		mit.AdaptEpochMs = 8 * arrival
+	case "budget+breaker":
+		mit.RetryBudget = 0.1
+		mit.AdaptEpochMs = 8 * arrival
+		mit.BreakerTripRate = 0.5
+		mit.BreakerMinSamples = 4
+	default:
+		t.Fatalf("unknown chaos golden mode %q", mode)
+	}
+	cfg.Mitigation = mit
+	cfg.Chaos = cluster.ChaosSchedule{
+		Domains: 2,
+		Events: []cluster.ChaosEvent{
+			{Kind: cluster.DomainOutage, Domain: 1, AtMs: 200 * arrival, ForMs: 100 * arrival},
+		},
+	}
+	cfg.Open = &cluster.OpenLoop{
+		Arrivals:   traffic.Config{Model: traffic.Poisson, RatePerMs: 1 / arrival},
+		DurationMs: 2500 * arrival,
+		SLAMs:      1,
+	}
 	return cfg
 }
 
@@ -308,6 +366,24 @@ func computeGolden(t *testing.T) golden {
 		g.ClusterOpenViolationMinutes[mode] = cres.SLAViolationMinutes
 		g.ClusterOpenMeanNodes[mode] = cres.MeanActiveNodes
 	}
+	g.ClusterChaosPostFaultRatio = map[string]float64{}
+	g.ClusterChaosRecoverMs = map[string]float64{}
+	g.ClusterChaosRetryAmp = map[string]float64{}
+	g.ClusterChaosBreakerMin = map[string]float64{}
+	for _, mode := range chaosGoldenModes {
+		cres, err := cluster.Simulate(goldenChaosConfig(t, cmodel, mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := 0.0
+		if cres.PostFaultOfferedQPS > 0 {
+			ratio = cres.PostFaultGoodput / cres.PostFaultOfferedQPS
+		}
+		g.ClusterChaosPostFaultRatio[mode] = ratio
+		g.ClusterChaosRecoverMs[mode] = cres.TimeToRecoverMs
+		g.ClusterChaosRetryAmp[mode] = cres.RetryAmplification
+		g.ClusterChaosBreakerMin[mode] = cres.BreakerOpenMinutes
+	}
 	g.HetP95Ms = map[string]float64{}
 	for _, mix := range []string{"smt2", "biglittle", "hetero"} {
 		for _, pol := range hetsched.AllPolicies {
@@ -381,6 +457,36 @@ func TestGoldenRegression(t *testing.T) {
 	}
 	if mean := got.ClusterOpenMeanNodes["autoscale"]; mean <= 2 || mean > 4 {
 		t.Errorf("autoscaled fleet averaged %.2f nodes, want strictly inside (2, 4]", mean)
+	}
+	// The correlated-failure tier's acceptance criterion, checked fresh:
+	// under the golden retry storm, the static router is metastable — its
+	// post-fault goodput stays collapsed and it never recovers — while the
+	// retry budget restores goodput and circuit breakers restore it
+	// strictly faster, with the breaker demonstrably open along the way.
+	if ratio := got.ClusterChaosPostFaultRatio["static"]; ratio > 0.7 {
+		t.Errorf("static router's post-fault goodput ratio %.3f is not collapsed (want <= 0.7)", ratio)
+	}
+	if rec := got.ClusterChaosRecoverMs["static"]; rec != -1 {
+		t.Errorf("static router recovered at %.3f ms under the golden retry storm; metastability requires never (-1)", rec)
+	}
+	budgetRec := got.ClusterChaosRecoverMs["budget"]
+	breakerRec := got.ClusterChaosRecoverMs["budget+breaker"]
+	if budgetRec < 0 {
+		t.Error("retry budget never recovered under the golden retry storm")
+	}
+	if breakerRec < 0 || breakerRec >= budgetRec {
+		t.Errorf("budget+breaker recovery %.3f ms is not strictly faster than budget-only %.3f ms", breakerRec, budgetRec)
+	}
+	if s, b := got.ClusterChaosRetryAmp["static"], got.ClusterChaosRetryAmp["budget"]; s <= b {
+		t.Errorf("static retry amplification %.2f does not exceed budgeted %.2f", s, b)
+	}
+	if got.ClusterChaosBreakerMin["budget+breaker"] <= 0 {
+		t.Error("breaker mode never opened a breaker under the golden retry storm")
+	}
+	for _, mode := range []string{"static", "budget"} {
+		if v := got.ClusterChaosBreakerMin[mode]; v != 0 {
+			t.Errorf("%s mode reports %.4g breaker-open node-minutes without breakers", mode, v)
+		}
 	}
 	// The heterogeneous-scheduling subsystem's acceptance criterion,
 	// checked fresh: each placement policy strictly wins one device-mix
@@ -509,6 +615,10 @@ func TestGoldenRegression(t *testing.T) {
 	compareMap("open shed rate", got.ClusterOpenShedRate, want.ClusterOpenShedRate)
 	compareMap("open violation minutes", got.ClusterOpenViolationMinutes, want.ClusterOpenViolationMinutes)
 	compareMap("open mean nodes", got.ClusterOpenMeanNodes, want.ClusterOpenMeanNodes)
+	compareMap("chaos post-fault ratio", got.ClusterChaosPostFaultRatio, want.ClusterChaosPostFaultRatio)
+	compareMap("chaos recover ms", got.ClusterChaosRecoverMs, want.ClusterChaosRecoverMs)
+	compareMap("chaos retry amp", got.ClusterChaosRetryAmp, want.ClusterChaosRetryAmp)
+	compareMap("chaos breaker minutes", got.ClusterChaosBreakerMin, want.ClusterChaosBreakerMin)
 	compareMap("het p95", got.HetP95Ms, want.HetP95Ms)
 	compareMap("het batching p95", got.HetBatchP95Ms, want.HetBatchP95Ms)
 	if !close(got.HetSMTCrossOverlapMs, want.HetSMTCrossOverlapMs) {

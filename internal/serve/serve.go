@@ -160,8 +160,11 @@ func (q *Queue) Submit(arrival, service float64) (start, done float64) {
 // subsequent Submit starts no earlier than until. Outage time is not
 // counted as busy time. Callers should apply windows in nondecreasing
 // order, as arrivals reach each window's start (internal/cluster's fault
-// model does); a window applied early also delays submissions that
-// arrive before it begins.
+// model and chaos schedule both do); a window applied early also delays
+// submissions that arrive before it begins. The raise is a max, so
+// overlapping windows from independent callers compose commutatively —
+// the fault model's stochastic outages and the chaos schedule's domain
+// outages may interleave on one queue in any order.
 func (q *Queue) Unavailable(until float64) {
 	for s := range q.free {
 		if q.free[s] < until {
